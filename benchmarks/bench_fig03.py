@@ -1,0 +1,36 @@
+"""Figure 3 — single-core TCP receive (RX) throughput and CPU vs message
+size (netperf TCP_STREAM).
+
+Expected shapes (paper §6 "Single-core TCP throughput"):
+* below 512 B all schemes tie (sender-syscall limited) and differ only
+  in CPU;
+* at large messages copy is the best protected scheme: ≈0.76× no-iommu,
+  ≈1.1× identity−, ≈2× identity+.
+"""
+
+from benchmarks.common import save_csv, FIGURE_SCHEMES, relative, run_once, save_report, stream_sweep
+from repro.stats.reporting import render_throughput_table
+
+
+def test_fig3_single_core_rx(benchmark):
+    results = run_once(benchmark, lambda: stream_sweep("rx", cores=1))
+    save_report("fig03", render_throughput_table(
+        results, title="Figure 3: single-core TCP RX (netperf TCP_STREAM)"))
+    save_csv("fig03", results)
+
+    benchmark.extra_info["copy_vs_no_iommu_64KB"] = round(
+        relative(results, "copy", 65536), 3)
+    benchmark.extra_info["copy_vs_identity_minus_64KB"] = round(
+        relative(results, "copy", 65536, baseline="identity-deferred"), 3)
+    benchmark.extra_info["copy_vs_identity_plus_64KB"] = round(
+        relative(results, "copy", 65536, baseline="identity-strict"), 3)
+
+    # Sender-limited region: identical throughput for every scheme.
+    for scheme in FIGURE_SCHEMES:
+        assert abs(relative(results, scheme, 64) - 1.0) < 0.02
+    # Large-message crossovers.
+    assert 0.70 <= relative(results, "copy", 65536) <= 0.82
+    assert relative(results, "copy", 65536, baseline="identity-deferred") >= 1.03
+    assert relative(results, "copy", 65536, baseline="identity-strict") >= 1.7
+    # CPU overhead at small messages stays modest (paper: 1.1–1.2×).
+    assert relative(results, "copy", 64, what="cpu") <= 1.35

@@ -1,0 +1,34 @@
+"""Figure 7 — 16-core TCP transmit (TX) throughput and CPU vs message size.
+
+Expected shape: identity+ is several × worse for small messages but
+*closes the gap as message size grows* (TSO slashes the chunk — hence
+invalidation — rate), eventually reaching line rate at 64 KB; every
+other scheme rides at line rate throughout the large sizes.
+"""
+
+from benchmarks.common import save_csv, run_once, save_report, stream_sweep
+from repro.stats.reporting import render_throughput_table
+
+
+def test_fig7_multicore_tx(benchmark):
+    results = run_once(benchmark, lambda: stream_sweep("tx", cores=16))
+    save_report("fig07", render_throughput_table(
+        results, title="Figure 7: 16-core TCP TX (netperf TCP_STREAM)"))
+    save_csv("fig07", results)
+
+    strict = {r.params["message_size"]: r for r in results["identity-strict"]}
+    copy = {r.params["message_size"]: r for r in results["copy"]}
+    base = {r.params["message_size"]: r for r in results["no-iommu"]}
+
+    small_gap = copy[64].throughput_gbps / strict[64].throughput_gbps
+    large_gap = copy[65536].throughput_gbps / strict[65536].throughput_gbps
+    benchmark.extra_info["strict_gap_64B"] = round(small_gap, 2)
+    benchmark.extra_info["strict_gap_64KB"] = round(large_gap, 2)
+
+    # Small messages: identity+ is far behind (invalidation per MSS chunk).
+    assert small_gap >= 2.0
+    # The gap closes with message size and vanishes at 64 KB.
+    assert large_gap < small_gap
+    assert abs(large_gap - 1.0) < 0.05
+    # Everyone reaches line rate at 64 KB with 16 cores.
+    assert copy[65536].throughput_gbps >= 0.97 * base[65536].throughput_gbps

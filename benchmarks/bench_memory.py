@@ -1,0 +1,56 @@
+"""§6 "Memory consumption" — shadow pool occupancy during the benchmarks.
+
+The paper's worst-case bound is ≈2.1 GB (16 K buffers × two size classes
+× two NUMA domains) but the measured footprint tracks *in-flight DMAs*:
+they observed ≈160 MB (64 MB TX + 96 MB RX shadows), ≈13× below the
+bound.  We reproduce the shape: measured ≪ worst case, and growth stops
+once the in-flight population (ring occupancy) is covered.
+"""
+
+from benchmarks.common import UNITS_MULTI_CORE, WARMUP, run_once, save_report
+from repro.sim.units import GIB, MIB
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx, run_tcp_stream_tx
+
+
+def _sweep():
+    rx = run_tcp_stream_rx(StreamConfig(
+        scheme="copy", message_size=16384, cores=16,
+        units_per_core=UNITS_MULTI_CORE, warmup_units=WARMUP))
+    tx = run_tcp_stream_tx(StreamConfig(
+        scheme="copy", direction="tx", message_size=65536, cores=16,
+        units_per_core=UNITS_MULTI_CORE, warmup_units=WARMUP))
+    return rx, tx
+
+
+def _worst_case_bytes(max_buffers=16 * 1024, numa_domains=2,
+                      classes=(4096, 65536)) -> int:
+    return sum(max_buffers * c for c in classes) * numa_domains
+
+
+def test_memory_consumption(benchmark):
+    rx, tx = run_once(benchmark, _sweep)
+    rx_bytes = rx.extras["pool"]["bytes_allocated"]
+    tx_bytes = tx.extras["pool"]["bytes_allocated"]
+    worst = _worst_case_bytes()
+
+    lines = [
+        "Shadow pool memory consumption (paper §6 'Memory consumption')",
+        f"worst-case bound      : {worst / GIB:8.2f} GiB   (paper: ~2.1 GB)",
+        f"RX benchmark shadows  : {rx_bytes / MIB:8.1f} MiB  (paper: 96 MB)",
+        f"TX benchmark shadows  : {tx_bytes / MIB:8.1f} MiB  (paper: 64 MB)",
+        f"peak in-flight (RX)   : {rx.extras['pool']['peak_in_flight']:8d} buffers",
+        f"peak in-flight (TX)   : {tx.extras['pool']['peak_in_flight']:8d} buffers",
+        f"measured/worst-case   : {(rx_bytes + tx_bytes) / worst:8.4f}",
+    ]
+    save_report("memory", "\n".join(lines))
+
+    benchmark.extra_info["rx_mib"] = round(rx_bytes / MIB, 1)
+    benchmark.extra_info["tx_mib"] = round(tx_bytes / MIB, 1)
+
+    # Worst case matches the paper's arithmetic (±10%).
+    assert abs(worst - 2.1 * GIB) / (2.1 * GIB) < 0.1
+    # Measured usage is far below the bound (paper: ≈13×; here more,
+    # since the simulated rings bound in-flight DMAs tightly).
+    assert (rx_bytes + tx_bytes) * 5 < worst
+    # RX occupancy is driven by posted ring buffers: 16 rings × 511.
+    assert rx.extras["pool"]["in_flight"] == 16 * 511

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Writing a device driver against the DMA API — transparency in action.
+
+The paper's §5.1 "transparency" goal: DMA shadowing slots in under
+*unmodified* drivers.  This example writes a tiny block-device driver
+(one command ring, sector-sized transfers) purely against the abstract
+DMA API, runs it unchanged over three protection schemes, and registers
+the optional §5.4 copying hint where the scheme supports it.
+
+Run:  python3 examples/custom_driver.py
+"""
+
+from repro import DmaDirection, Machine
+from repro.core.shadow_dma import ShadowDmaApi
+from repro.dma.registry import create_dma_api
+from repro.iommu.iommu import Iommu
+from repro.kalloc.slab import KernelAllocators
+
+SECTOR = 4096
+
+
+class ToyBlockDevice:
+    """The 'hardware': stores sectors; DMAs through its port."""
+
+    def __init__(self, port):
+        self.port = port
+        self.sectors = {}
+
+    def write_sector(self, lba: int, iova: int) -> None:
+        self.sectors[lba] = self.port.dma_read(iova, SECTOR)
+
+    def read_sector(self, lba: int, iova: int) -> None:
+        self.port.dma_write(iova, self.sectors.get(lba, bytes(SECTOR)))
+
+
+class ToyBlockDriver:
+    """The driver: only ever touches the abstract DMA API."""
+
+    def __init__(self, machine, allocators, dma_api):
+        self.machine = machine
+        self.allocators = allocators
+        self.dma_api = dma_api
+        self.device = ToyBlockDevice(dma_api.port())
+        if isinstance(dma_api, ShadowDmaApi):
+            # Optional: sectors are often partially used; hint the pool
+            # to copy only the payload length stored in the first 4 bytes.
+            self.dma_api.register_copy_hint(
+                DmaDirection.FROM_DEVICE,
+                lambda view, size: int.from_bytes(view.read(0, 4), "little")
+                or size)
+
+    def write(self, core, lba: int, data: bytes) -> None:
+        buf = self.allocators.kmalloc(SECTOR, node=core.numa_node, core=core)
+        self.machine.memory.write(buf.pa, data.ljust(SECTOR, b"\0"))
+        handle = self.dma_api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+        self.device.write_sector(lba, handle.iova)
+        self.dma_api.dma_unmap(core, handle)
+        self.allocators.kfree(buf, core)
+
+    def read(self, core, lba: int) -> bytes:
+        buf = self.allocators.kmalloc(SECTOR, node=core.numa_node, core=core)
+        handle = self.dma_api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+        self.device.read_sector(lba, handle.iova)
+        self.dma_api.dma_unmap(core, handle)
+        data = self.machine.memory.read(buf.pa, SECTOR)
+        self.allocators.kfree(buf, core)
+        return data
+
+
+def main() -> None:
+    for scheme in ("no-iommu", "identity-strict", "copy"):
+        machine = Machine.build(cores=2, numa_nodes=1)
+        allocators = KernelAllocators(machine)
+        iommu = None if scheme == "no-iommu" else Iommu(machine)
+        api = create_dma_api(scheme, machine, iommu, device_id=0x20,
+                             allocators=allocators)
+        driver = ToyBlockDriver(machine, allocators, api)
+        core = machine.core(0)
+
+        payload = (len(b"hello, block device")).to_bytes(4, "little") \
+            + b"hello, block device"
+        driver.write(core, lba=7, data=payload)
+        back = driver.read(core, lba=7)
+        assert back[4:4 + 19] == b"hello, block device"
+        us = machine.cost.us(core.busy_cycles)
+        print(f"{scheme:<18} roundtrip ok   driver cpu: {us:7.3f} us   "
+              f"(driver code identical — transparency, §5.1)")
+
+
+if __name__ == "__main__":
+    main()

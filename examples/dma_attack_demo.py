@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""DMA attack demonstration — the paper's §1/§3/§4 threats, live.
+
+Walks three attacks against three configurations and regenerates the
+paper's Table 1 from the observed outcomes:
+
+1. the *sub-page* attack: a secret co-located with a DMA buffer on one
+   kmalloc page is stolen through a page-granular mapping;
+2. the *deferred window* attack: a device keeps writing through a stale
+   IOTLB entry after ``dma_unmap`` returned — the attack that crashed
+   the authors' Linux;
+3. the same attacks against DMA shadowing, which defeats both.
+
+Run:  python3 examples/dma_attack_demo.py
+"""
+
+from repro import audit_all, render_table1
+from repro.attacks.scenarios import (
+    subpage_read_attack,
+    window_read_attack,
+    window_write_attack,
+)
+
+
+def show(outcome) -> None:
+    verdict = "ATTACK SUCCEEDED" if outcome.attack_succeeded else "defended"
+    print(f"  [{outcome.scheme:>18}] {outcome.name:<13} -> {verdict:<16} "
+          f"({outcome.detail})")
+
+
+def main() -> None:
+    print("== 1. sub-page attack (§4: kmalloc co-location) ==")
+    print("A 512B DMA buffer shares its 4KB page with unrelated secret")
+    print("data; the device reads the whole page it was granted.\n")
+    for scheme in ("identity-strict", "identity-deferred", "copy"):
+        show(subpage_read_attack(scheme))
+
+    print("\n== 2. deferred-window attack (§3: stale IOTLB entries) ==")
+    print("After dma_unmap returns, the OS reuses the buffer; the device")
+    print("writes (or reads) it through the not-yet-invalidated IOTLB")
+    print("entry.  Strict protection closes this; deferred does not.\n")
+    for scheme in ("identity-strict", "identity-deferred", "copy"):
+        show(window_write_attack(scheme))
+        show(window_read_attack(scheme))
+
+    print("\n== 3. the window is bounded by the batch flush ==")
+    outcome = window_write_attack("identity-deferred", flush_first=True)
+    show(outcome)
+    print("  (after the 250-unmap/10ms flush, the same attack fails)")
+
+    print("\n== Table 1, regenerated from the attacks above ==\n")
+    rows = audit_all(strict=True)
+    print(render_table1(rows))
+    print("\nOnly 'copy (shadow buffers)' earns every column — the paper's")
+    print("claim, verified empirically.")
+
+
+if __name__ == "__main__":
+    main()

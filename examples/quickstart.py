@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a protected system and move data through it.
+
+Builds a 4-core machine with DMA shadowing ("copy"), walks one RX and
+one TX DMA through the public API, and shows the two properties that
+make the scheme the paper's contribution:
+
+1. the device only ever sees *shadow* buffers (byte-granularity
+   protection — it cannot reach OS memory at all), and
+2. ``dma_unmap`` needs no IOTLB invalidation (the performance win).
+
+Run:  python3 examples/quickstart.py
+"""
+
+from repro import DmaDirection, System, SystemConfig
+
+
+def main() -> None:
+    system = System.build(SystemConfig(scheme="copy", cores=4))
+    core = system.machine.core(0)
+    api = system.dma_api
+    port = api.port()          # the device's view of the bus
+
+    print("== RX: device -> OS buffer, through a shadow ==")
+    rx_buf = system.allocators.kmalloc(1500, node=0, core=core)
+    handle = api.dma_map(core, rx_buf, DmaDirection.FROM_DEVICE)
+    print(f"driver buffer at PA  {rx_buf.pa:#014x}")
+    print(f"device was granted   {handle.iova:#014x}  "
+          f"(MSB set => shadow-encoded IOVA)")
+
+    port.dma_write(handle.iova, b"packet from the wire")
+    visible = system.machine.memory.read(rx_buf.pa, 20)
+    print(f"before unmap, OS buffer holds: {visible!r}")
+    api.dma_unmap(core, handle)   # <- the shadow -> OS copy happens here
+    visible = system.machine.memory.read(rx_buf.pa, 20)
+    print(f"after  unmap, OS buffer holds: {visible!r}")
+
+    print("\n== the device cannot touch OS memory directly ==")
+    try:
+        port.dma_read(rx_buf.pa, 16)
+    except Exception as exc:  # IommuFault
+        print(f"device DMA at the buffer's physical address -> {exc}")
+
+    print("\n== TX: OS buffer -> device ==")
+    tx_buf = system.allocators.kmalloc(1500, node=0, core=core)
+    system.machine.memory.write(tx_buf.pa, b"response bytes")
+    handle = api.dma_map(core, tx_buf, DmaDirection.TO_DEVICE)
+    print(f"device reads: {port.dma_read(handle.iova, 14)!r}")
+    api.dma_unmap(core, handle)
+
+    print("\n== cost accounting ==")
+    cost = system.cost
+    print(f"cycles spent on this core: {core.busy_cycles}")
+    for category, cycles in sorted(core.breakdown.items(),
+                                   key=lambda kv: -kv[1]):
+        print(f"  {category:<24} {cost.us(cycles):8.3f} us")
+    invq = system.iommu.invalidation_queue
+    print(f"IOTLB invalidations issued: {invq.sync_invalidations} "
+          f"(the copy scheme's hot path never needs one)")
+
+
+if __name__ == "__main__":
+    main()

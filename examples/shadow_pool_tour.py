@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""A tour of the shadow buffer pool's data structures (paper §5.3, Fig. 2).
+
+Walks the machinery that makes ``find_shadow`` O(1) and the pool
+lock-free on its owner-core fast path: the 48-bit IOVA encoding, the
+per-(core, class, rights) segregated free lists, stickiness across
+cross-core releases, and the fallback hash-table path when the encoded
+index space runs out.
+
+Run:  python3 examples/shadow_pool_tour.py
+"""
+
+from repro import DmaDirection, Machine, Perm
+from repro.core.iova_encoding import ShadowIovaCodec
+from repro.dma.registry import create_dma_api
+from repro.iommu.iommu import Iommu
+from repro.kalloc.slab import KernelAllocators
+
+
+def show_bits(iova: int, codec: ShadowIovaCodec) -> None:
+    decoded = codec.decode(iova)
+    print(f"  IOVA {iova:#014x} = {iova:048b}")
+    print(f"    shadow flag : bit 47 = 1")
+    print(f"    core id     : {decoded.core_id}")
+    print(f"    rights      : {decoded.rights.name}")
+    print(f"    size class  : {decoded.class_index} "
+          f"({codec.size_classes[decoded.class_index]} B)")
+    print(f"    meta index  : {decoded.meta_index}")
+    print(f"    offset      : {decoded.offset}")
+
+
+def main() -> None:
+    machine = Machine.build(cores=4, numa_nodes=2)
+    allocators = KernelAllocators(machine)
+    iommu = Iommu(machine)
+    api = create_dma_api("copy", machine, iommu, 0x30, allocators)
+    pool = api.pool
+    codec = pool.codec
+
+    print("== Figure 2: the IOVA is the index ==")
+    core2 = machine.core(2)
+    buf = allocators.kmalloc(1500, node=core2.numa_node, core=core2)
+    handle = api.dma_map(core2, buf, DmaDirection.FROM_DEVICE)
+    show_bits(handle.iova, codec)
+    meta = pool.find_shadow(core2, handle.iova)
+    print(f"  find_shadow -> metadata for shadow at PA {meta.pa:#x} "
+          f"(owner core {meta.owner_core}, NUMA node {meta.domain_node})")
+    api.dma_unmap(core2, handle)
+
+    print("\n== segregated free lists: (core, class, rights) ==")
+    core0 = machine.core(0)
+    for rights, direction in ((Perm.READ, DmaDirection.TO_DEVICE),
+                              (Perm.WRITE, DmaDirection.FROM_DEVICE)):
+        b = allocators.kmalloc(1000, node=0, core=core0)
+        h = api.dma_map(core0, b, direction)
+        d = codec.decode(h.iova)
+        print(f"  {direction.name:<12} -> rights {d.rights.name:<5} "
+              f"list of core {d.core_id} (never shares a page with the "
+              f"other rights)")
+        api.dma_unmap(core0, h)
+    print(f"  live free lists: {sorted((k[0], k[2].name) for k in pool._lists)}")
+
+    print("\n== stickiness: remote release returns to the owner ==")
+    b = allocators.kmalloc(1500, node=0, core=core0)
+    h = api.dma_map(core0, b, DmaDirection.TO_DEVICE)
+    meta = pool.find_shadow(core0, h.iova)
+    iova_before = meta.iova
+    # Simulate a TX completion handled on core 3 (other NUMA node).
+    api._live.pop(h.iova)
+    pool.release_shadow(machine.core(3), meta)
+    again = pool.acquire_shadow(core0, b, 1500, Perm.READ)
+    print(f"  released on core 3, re-acquired on core 0: same buffer? "
+          f"{again.iova == iova_before} (mapping never changed)")
+    print(f"  remote releases so far: {pool.stats.remote_releases}")
+    pool.release_shadow(core0, again)
+
+    print("\n== capacity: index space and worst case (§5.3, §6) ==")
+    for idx, cls in enumerate(codec.size_classes):
+        print(f"  class {cls:>6} B: up to 2^{codec.index_capacity(idx).bit_length() - 1}"
+              f" encodable buffers per NUMA domain")
+    print(f"  prototype bound used in the paper: 16K buffers/class "
+          f"-> ~2.1 GB worst case; measured in our benches: ~65 MiB")
+
+    print("\n== fallback path (§5.3): exhausted metadata array ==")
+    tiny = create_dma_api("copy", machine, iommu, 0x31, allocators,
+                          max_buffers_per_class=1)
+    b1 = allocators.kmalloc(1500, node=0, core=core0)
+    b2 = allocators.kmalloc(1500, node=0, core=core0)
+    h1 = tiny.dma_map(core0, b1, DmaDirection.TO_DEVICE)
+    h2 = tiny.dma_map(core0, b2, DmaDirection.TO_DEVICE)
+    print(f"  encoded  IOVA: {h1.iova:#014x} (MSB set)")
+    print(f"  fallback IOVA: {h2.iova:#014x} (MSB clear -> hash lookup)")
+    assert tiny.pool.find_shadow(core0, h2.iova).fallback
+    tiny.dma_unmap(core0, h1)
+    tiny.dma_unmap(core0, h2)
+    print("\npool statistics:", vars(pool.stats))
+
+
+if __name__ == "__main__":
+    main()

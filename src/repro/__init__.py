@@ -1,0 +1,104 @@
+"""repro — reproduction of "True IOMMU Protection from DMA Attacks:
+When Copy Is Faster Than Zero Copy" (Markuze, Morrison & Tsafrir,
+ASPLOS 2016).
+
+The package implements the paper's contribution — **DMA shadowing**, a
+copy-based DMA API over a pool of permanently-mapped shadow buffers —
+together with every substrate it needs (IOMMU with IOTLB + invalidation
+queue, kernel allocators, IOVA allocators, a 40 Gb/s NIC model and
+driver), the zero-copy baselines it is compared against, an attack
+framework that verifies the security claims, and workload harnesses that
+regenerate each of the paper's tables and figures.
+
+Quickstart::
+
+    from repro import System, SystemConfig, DmaDirection
+
+    system = System.build(SystemConfig(scheme="copy", cores=4))
+    core = system.machine.core(0)
+    buf = system.allocators.kmalloc(1500, core=core)
+    handle = system.dma_api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    system.dma_api.port().dma_write(handle.iova, b"packet from the wire")
+    system.dma_api.dma_unmap(core, handle)        # copies shadow -> buf
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.attacks import AttackerDevice, audit_all, audit_scheme, render_table1
+from repro.core import ShadowBufferPool, ShadowDmaApi, ShadowIovaCodec
+from repro.dma import (
+    ALL_SCHEMES,
+    FIGURE_SCHEMES,
+    DmaApi,
+    DmaDirection,
+    DmaHandle,
+    create_dma_api,
+    scheme_properties,
+)
+from repro.errors import (
+    DmaApiError,
+    IommuFault,
+    PoolExhaustedError,
+    ReproError,
+    SecurityViolation,
+)
+from repro.hw import Core, Machine
+from repro.iommu import Iommu, Perm
+from repro.kalloc import KBuffer, KernelAllocators
+from repro.net import Nic, NicDriver
+from repro.sim import DEFAULT_COST_MODEL, CostModel
+from repro.stats import RunResult
+from repro.system import System, SystemConfig
+from repro.workloads import (
+    MemcachedConfig,
+    RRConfig,
+    StreamConfig,
+    run_memcached,
+    run_tcp_rr,
+    run_tcp_stream,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "System",
+    "SystemConfig",
+    "Machine",
+    "Core",
+    "DmaApi",
+    "DmaDirection",
+    "DmaHandle",
+    "create_dma_api",
+    "scheme_properties",
+    "ALL_SCHEMES",
+    "FIGURE_SCHEMES",
+    "ShadowDmaApi",
+    "ShadowBufferPool",
+    "ShadowIovaCodec",
+    "Iommu",
+    "Perm",
+    "KernelAllocators",
+    "KBuffer",
+    "Nic",
+    "NicDriver",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "StreamConfig",
+    "RRConfig",
+    "MemcachedConfig",
+    "run_tcp_stream",
+    "run_tcp_rr",
+    "run_memcached",
+    "RunResult",
+    "AttackerDevice",
+    "audit_scheme",
+    "audit_all",
+    "render_table1",
+    "ReproError",
+    "IommuFault",
+    "DmaApiError",
+    "PoolExhaustedError",
+    "SecurityViolation",
+]

@@ -1,0 +1,38 @@
+"""DMA attack framework: malicious device, attack scenarios, Table 1 audit."""
+
+from repro.attacks.attacker import AttackerDevice, ProbeResult
+from repro.attacks.audit import (
+    TABLE1_COLUMNS,
+    AuditRow,
+    audit_all,
+    audit_scheme,
+    render_table1,
+)
+from repro.attacks.scenarios import (
+    ALL_SCENARIOS,
+    KERNEL_MAGIC,
+    SECRET,
+    ScenarioOutcome,
+    arbitrary_dma_attack,
+    subpage_read_attack,
+    window_read_attack,
+    window_write_attack,
+)
+
+__all__ = [
+    "AttackerDevice",
+    "ProbeResult",
+    "ScenarioOutcome",
+    "arbitrary_dma_attack",
+    "subpage_read_attack",
+    "window_write_attack",
+    "window_read_attack",
+    "ALL_SCENARIOS",
+    "SECRET",
+    "KERNEL_MAGIC",
+    "audit_scheme",
+    "audit_all",
+    "render_table1",
+    "AuditRow",
+    "TABLE1_COLUMNS",
+]

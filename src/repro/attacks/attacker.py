@@ -1,0 +1,90 @@
+"""Malicious-device primitives (paper §3 attacker model).
+
+The attacker controls a DMA-capable device but cannot otherwise touch the
+OS: it can issue arbitrary reads/writes at arbitrary bus addresses through
+its :class:`~repro.iommu.iommu.DmaPort`, and it can observe the IOVAs the
+driver programs into it (a compromised NIC sees its own descriptors).
+Everything else — reconfiguring the IOMMU, picking where the OS allocates
+— is out of reach.
+
+:class:`AttackerDevice` wraps a port with fault-catching probes so attack
+scenarios can express "try to read X" and inspect the outcome instead of
+handling exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import IommuFault, MemoryAccessError
+from repro.iommu.iommu import DmaPort
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of one attack DMA."""
+
+    iova: int
+    is_write: bool
+    blocked: bool
+    data: Optional[bytes] = None      # what a read returned (if it worked)
+    fault_reason: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.blocked
+
+
+class AttackerDevice:
+    """A compromised device issuing hostile DMAs."""
+
+    def __init__(self, port: DmaPort, name: str = "malicious-nic"):
+        self.port = port
+        self.name = name
+        self.probes: List[ProbeResult] = []
+
+    def try_read(self, iova: int, size: int) -> ProbeResult:
+        """Attempt a DMA read of ``size`` bytes at ``iova``."""
+        try:
+            data = self.port.dma_read(iova, size)
+            result = ProbeResult(iova=iova, is_write=False, blocked=False,
+                                 data=data)
+        except (IommuFault, MemoryAccessError) as exc:
+            result = ProbeResult(iova=iova, is_write=False, blocked=True,
+                                 fault_reason=str(exc))
+        self.probes.append(result)
+        return result
+
+    def try_write(self, iova: int, data: bytes) -> ProbeResult:
+        """Attempt a DMA write of ``data`` at ``iova``."""
+        try:
+            self.port.dma_write(iova, data)
+            result = ProbeResult(iova=iova, is_write=True, blocked=False)
+        except (IommuFault, MemoryAccessError) as exc:
+            result = ProbeResult(iova=iova, is_write=True, blocked=True,
+                                 fault_reason=str(exc))
+        self.probes.append(result)
+        return result
+
+    def scan_for(self, needle: bytes, iova_base: int, span: int,
+                 stride: int = 4096) -> Optional[int]:
+        """Sweep a bus-address range looking for ``needle``.
+
+        Returns the IOVA where the needle was found, or ``None``.  Models
+        the classic DMA-attack pattern of trawling memory for secrets
+        (e.g. key material) page by page.
+        """
+        for offset in range(0, span, stride):
+            probe = self.try_read(iova_base + offset, stride)
+            if probe.succeeded and probe.data and needle in probe.data:
+                return iova_base + offset + probe.data.index(needle)
+        return None
+
+    @property
+    def blocked_probes(self) -> int:
+        return sum(1 for p in self.probes if p.blocked)
+
+    @property
+    def successful_probes(self) -> int:
+        return sum(1 for p in self.probes if p.succeeded)

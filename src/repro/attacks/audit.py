@@ -1,0 +1,114 @@
+"""Security audit: regenerate the paper's Table 1 *empirically*.
+
+Rather than asserting each scheme's security properties, the audit runs
+the attack scenarios against every scheme and derives the matrix from
+observed outcomes:
+
+* ``iommu protection``  — the arbitrary-DMA attack was blocked;
+* ``sub-page protect``  — the co-located-secret read failed;
+* ``no vulnerability window`` — neither window attack succeeded.
+
+The two performance columns come from the benchmark results (they are
+claims about throughput, verified by the Figure 1/6/7 benches); the
+audit carries the claimed values through for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.attacks.scenarios import (
+    ScenarioOutcome,
+    arbitrary_dma_attack,
+    subpage_read_attack,
+    window_read_attack,
+    window_write_attack,
+)
+from repro.dma.registry import ALL_SCHEMES, scheme_properties
+from repro.errors import SecurityViolation
+from repro.stats.reporting import render_property_matrix
+
+#: Column labels, matching the paper's Table 1.
+TABLE1_COLUMNS = (
+    "iommu protection",
+    "sub-page protect",
+    "no vulnerability window",
+    "single core perf",
+    "multi core perf",
+)
+
+
+@dataclass
+class AuditRow:
+    """One scheme's verified Table 1 row."""
+
+    scheme: str
+    label: str
+    observed: Dict[str, bool]
+    claimed: Dict[str, bool]
+    outcomes: List[ScenarioOutcome]
+
+    @property
+    def matches_claims(self) -> bool:
+        security_cols = TABLE1_COLUMNS[:3]
+        return all(self.observed[c] == self.claimed[c]
+                   for c in security_cols)
+
+
+def audit_scheme(scheme: str, **scheme_kwargs) -> AuditRow:
+    """Run every attack scenario against ``scheme``; derive its row."""
+    outcomes = [
+        arbitrary_dma_attack(scheme, **scheme_kwargs),
+        subpage_read_attack(scheme, **scheme_kwargs),
+        window_write_attack(scheme, **scheme_kwargs),
+        window_read_attack(scheme, **scheme_kwargs),
+    ]
+    by_name = {o.name: o for o in outcomes}
+    observed = {
+        "iommu protection": not by_name["arbitrary-dma"].attack_succeeded,
+        "sub-page protect": not by_name["subpage-read"].attack_succeeded,
+        "no vulnerability window": not (
+            by_name["window-write"].attack_succeeded
+            or by_name["window-read"].attack_succeeded
+        ),
+    }
+    props = scheme_properties(scheme)
+    claimed = {
+        "iommu protection": props.iommu_protection,
+        "sub-page protect": props.sub_page,
+        "no vulnerability window": props.no_window,
+        "single core perf": props.single_core_perf,
+        "multi core perf": props.multi_core_perf,
+    }
+    # Perf columns are not measurable by attacks; carry claims through.
+    observed["single core perf"] = claimed["single core perf"]
+    observed["multi core perf"] = claimed["multi core perf"]
+    return AuditRow(scheme=scheme, label=props.label, observed=observed,
+                    claimed=claimed, outcomes=outcomes)
+
+
+def audit_all(schemes: Sequence[str] = ALL_SCHEMES,
+              strict: bool = True) -> List[AuditRow]:
+    """Audit every scheme.  With ``strict``, a mismatch between observed
+    security and the scheme's claimed properties raises
+    :class:`~repro.errors.SecurityViolation`."""
+    rows = [audit_scheme(scheme) for scheme in schemes]
+    if strict:
+        for row in rows:
+            if not row.matches_claims:
+                raise SecurityViolation(
+                    f"scheme {row.scheme}: observed {row.observed} "
+                    f"!= claimed {row.claimed}"
+                )
+    return rows
+
+
+def render_table1(rows: Sequence[AuditRow]) -> str:
+    """Render the verified matrix in the paper's Table 1 layout."""
+    return render_property_matrix(
+        [(row.label, row.observed) for row in rows],
+        TABLE1_COLUMNS,
+        title=("Table 1: protection properties (security columns verified "
+               "by attack scenarios)"),
+    )

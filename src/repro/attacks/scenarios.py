@@ -1,0 +1,220 @@
+"""DMA attack scenarios (paper §1, §3, §4).
+
+Each scenario stands up a fresh system under one protection scheme, lets
+a victim driver use the DMA API exactly as the contract prescribes, and
+then has a compromised device attempt an attack.  The outcome is judged
+by *effect* — was the secret observed, was the kernel object corrupted —
+not by whether a DMA faulted: under DMA shadowing a hostile write may
+complete without a fault yet land harmlessly in a released shadow buffer.
+
+Scenarios:
+
+* :func:`arbitrary_dma_attack` — DMA at never-mapped memory (the basic
+  IOMMU value proposition).
+* :func:`subpage_read_attack` — §4 "no sub-page protection": steal a
+  secret co-located on the mapped buffer's page (kmalloc co-location).
+* :func:`window_write_attack` — §3/§4 "deferred protection": corrupt a
+  kernel object that reuses an unmapped DMA buffer, through a stale
+  IOTLB entry (this is the attack the authors used to crash Linux).
+* :func:`window_read_attack` — same window, reading reused sensitive data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.attacks.attacker import AttackerDevice
+from repro.dma.api import DmaApi, DmaDirection
+from repro.dma.registry import create_dma_api
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Iommu
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.sim.units import PAGE_SIZE
+
+SECRET = b"TOP-SECRET-KEY-MATERIAL-0xDEADBEEF"
+KERNEL_MAGIC = b"\x7fKOBJ" + bytes(range(32))
+
+_ATTACK_DEVICE_ID = 0x66
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one scenario observed."""
+
+    name: str
+    scheme: str
+    attack_succeeded: bool
+    detail: str = ""
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class _Bench:
+    machine: Machine
+    allocators: KernelAllocators
+    iommu: Optional[Iommu]
+    api: DmaApi
+    attacker: AttackerDevice
+
+    @property
+    def core(self):
+        return self.machine.core(0)
+
+
+def _bench(scheme: str, **scheme_kwargs) -> _Bench:
+    machine = Machine.build(cores=2, numa_nodes=1)
+    allocators = KernelAllocators(machine)
+    iommu = None if scheme == "no-iommu" else Iommu(machine)
+    api = create_dma_api(scheme, machine, iommu, _ATTACK_DEVICE_ID,
+                         allocators, **scheme_kwargs)
+    return _Bench(machine, allocators, iommu, api,
+                  AttackerDevice(api.port()))
+
+
+# ----------------------------------------------------------------------
+def arbitrary_dma_attack(scheme: str, **scheme_kwargs) -> ScenarioOutcome:
+    """The device DMAs into kernel memory that was never mapped for it."""
+    bench = _bench(scheme, **scheme_kwargs)
+    victim = bench.allocators.kmalloc(256, core=bench.core)
+    bench.machine.memory.write(victim.pa, SECRET)
+    # The attacker guesses/knows the physical address (bus address under
+    # no-iommu; any unmapped IOVA otherwise behaves the same).
+    probe = bench.attacker.try_read(victim.pa, len(SECRET))
+    stolen = probe.succeeded and probe.data == SECRET
+    return ScenarioOutcome(
+        name="arbitrary-dma", scheme=scheme, attack_succeeded=stolen,
+        detail=("secret read via raw DMA" if stolen
+                else f"blocked: {probe.fault_reason}"),
+    )
+
+
+def subpage_read_attack(scheme: str, **scheme_kwargs) -> ScenarioOutcome:
+    """Steal data co-located on the DMA buffer's page (§4).
+
+    The victim driver kmallocs a 512-byte DMA buffer; the slab allocator
+    co-locates an unrelated secret on the same 4 KB page.  The buffer is
+    then legitimately mapped for device *read* access, and the attacker
+    reads the whole page around the IOVA it was granted.
+    """
+    bench = _bench(scheme, **scheme_kwargs)
+    core = bench.core
+    slab = bench.allocators.slabs[0]
+    dma_buf = slab.kmalloc(512, core)
+    secret_buf = slab.kmalloc(512, core)
+    if (secret_buf.pa >> 12) != (dma_buf.pa >> 12):
+        raise AssertionError("slab did not co-locate — scenario invalid")
+    bench.machine.memory.write(secret_buf.pa, SECRET)
+    bench.machine.memory.write(dma_buf.pa, b"outbound packet data".ljust(512))
+
+    handle = bench.api.dma_map(core, dma_buf, DmaDirection.TO_DEVICE)
+    # The device reads the full page containing the buffer it was given.
+    page_iova = handle.iova & ~(PAGE_SIZE - 1)
+    probe = bench.attacker.try_read(page_iova, PAGE_SIZE)
+    stolen = probe.succeeded and probe.data is not None and SECRET in probe.data
+    if not stolen:
+        # A scheme without address translation (no-iommu, SWIOTLB) still
+        # fails sub-page protection trivially: the device reads the
+        # co-located secret at its physical address.
+        direct = bench.attacker.try_read(secret_buf.pa, len(SECRET))
+        stolen = direct.succeeded and direct.data == SECRET
+    bench.api.dma_unmap(core, handle)
+    return ScenarioOutcome(
+        name="subpage-read", scheme=scheme, attack_succeeded=stolen,
+        detail=("co-located secret visible at page granularity" if stolen
+                else "device saw only the mapped bytes"),
+        extras={"page_readable": probe.succeeded},
+    )
+
+
+def _map_use_unmap(bench: _Bench, payload: bytes,
+                   direction: DmaDirection) -> tuple[KBuffer, int]:
+    """Victim I/O: map a buffer, let the device use it legitimately
+    (caching the translation in the IOTLB), then unmap.
+
+    Returns (buffer, iova).  ``FROM_DEVICE`` models an RX buffer (device
+    writes it), ``TO_DEVICE`` a TX buffer (device reads it).
+    """
+    core = bench.core
+    pa = bench.allocators.alloc_pages(0, node=0, core=core)
+    buf = KBuffer(pa=pa, size=2048, node=0)
+    if direction.device_reads:
+        bench.machine.memory.write(buf.pa, payload)
+    handle = bench.api.dma_map(core, buf, direction)
+    # Legitimate DMA — this is what pulls the mapping into the IOTLB.
+    if direction.device_writes:
+        probe = bench.attacker.try_write(handle.iova, payload)
+    else:
+        probe = bench.attacker.try_read(handle.iova, len(payload))
+    assert probe.succeeded, "legitimate DMA must work"
+    bench.api.dma_unmap(core, handle)
+    return buf, handle.iova
+
+
+def window_write_attack(scheme: str, flush_first: bool = False,
+                        **scheme_kwargs) -> ScenarioOutcome:
+    """Corrupt a reused buffer through the deferred-unmap window (§3).
+
+    After ``dma_unmap`` returns, the OS reuses the buffer's memory for a
+    kernel object.  The device then writes through the stale IOVA.  With
+    deferred protection the stale IOTLB entry makes the write land — the
+    effect that crashed Linux for the authors.  ``flush_first`` runs the
+    batched invalidations before attacking (closing the window), which
+    lets tests bound the window's lifetime.
+    """
+    bench = _bench(scheme, **scheme_kwargs)
+    buf, iova = _map_use_unmap(bench, b"legitimate inbound packet",
+                               DmaDirection.FROM_DEVICE)
+    # OS reuses the freed DMA buffer for a kernel object.
+    bench.machine.memory.write(buf.pa, KERNEL_MAGIC)
+    if flush_first:
+        bench.api.flush_deferred(bench.core)
+    probe = bench.attacker.try_write(iova, b"\xff" * len(KERNEL_MAGIC))
+    corrupted = bench.machine.memory.read(buf.pa, len(KERNEL_MAGIC)) != KERNEL_MAGIC
+    if not corrupted:
+        # Without address translation the stale-IOVA detour is moot: the
+        # device can corrupt the reused memory at its physical address.
+        bench.attacker.try_write(buf.pa, b"\xff" * len(KERNEL_MAGIC))
+        corrupted = (bench.machine.memory.read(buf.pa, len(KERNEL_MAGIC))
+                     != KERNEL_MAGIC)
+    return ScenarioOutcome(
+        name="window-write", scheme=scheme, attack_succeeded=corrupted,
+        detail=("kernel object corrupted through stale IOTLB entry"
+                if corrupted else
+                ("DMA blocked" if probe.blocked
+                 else "DMA landed harmlessly outside OS memory")),
+        extras={"dma_blocked": probe.blocked, "flushed": flush_first},
+    )
+
+
+def window_read_attack(scheme: str, flush_first: bool = False,
+                       **scheme_kwargs) -> ScenarioOutcome:
+    """Steal sensitive data placed in a reused DMA buffer (§3, §4)."""
+    bench = _bench(scheme, **scheme_kwargs)
+    # A transmit buffer: mapped readable, so the stale IOTLB entry grants
+    # the device *read* access to whatever reuses this memory.
+    buf, iova = _map_use_unmap(bench, b"legitimate outbound packet",
+                               DmaDirection.TO_DEVICE)
+    bench.machine.memory.write(buf.pa, SECRET)
+    if flush_first:
+        bench.api.flush_deferred(bench.core)
+    probe = bench.attacker.try_read(iova, len(SECRET))
+    stolen = probe.succeeded and probe.data == SECRET
+    if not stolen:
+        direct = bench.attacker.try_read(buf.pa, len(SECRET))
+        stolen = direct.succeeded and direct.data == SECRET
+    return ScenarioOutcome(
+        name="window-read", scheme=scheme, attack_succeeded=stolen,
+        detail=("reused secret read through stale IOTLB entry" if stolen
+                else ("DMA blocked" if probe.blocked
+                      else "device saw stale shadow contents, not the secret")),
+        extras={"dma_blocked": probe.blocked, "flushed": flush_first},
+    )
+
+
+ALL_SCENARIOS = (
+    arbitrary_dma_attack,
+    subpage_read_attack,
+    window_write_attack,
+    window_read_attack,
+)

@@ -1,0 +1,184 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro schemes
+    python -m repro audit
+    python -m repro stream --scheme copy --direction rx --size 65536
+    python -m repro stream --scheme identity+ --cores 16 --size 16384
+    python -m repro rr --scheme copy --size 64
+    python -m repro memcached --cores 8
+    python -m repro storage --scheme copy --block-size 262144
+
+Every subcommand prints the same metrics the corresponding paper
+table/figure reports.  For the full sweeps use
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Sequence
+
+from repro.attacks.audit import audit_all, render_table1
+from repro.dma.registry import ALL_SCHEMES, PAPER_ALIASES, scheme_properties
+from repro.stats.results import RunResult
+from repro.workloads.memcached import MemcachedConfig, run_memcached
+from repro.workloads.netperf import (
+    RRConfig,
+    StreamConfig,
+    run_tcp_rr,
+    run_tcp_stream,
+)
+from repro.workloads.storage import StorageConfig, run_storage
+
+
+def _print_result(result: RunResult, *, show_latency: bool = False,
+                  show_tps: bool = False) -> None:
+    print(f"scheme          : {result.scheme}")
+    print(f"workload        : {result.workload} {result.params}")
+    print(f"throughput      : {result.throughput_gbps:.2f} Gb/s")
+    if show_tps and result.transactions_per_sec is not None:
+        print(f"transactions/s  : {result.transactions_per_sec:,.0f}")
+    if show_latency and result.latency_us is not None:
+        print(f"mean latency    : {result.latency_us:.1f} us")
+    print(f"cpu utilization : {100 * result.cpu_utilization:.1f}%")
+    print(f"per-unit cpu    : {result.us_per_unit:.3f} us over "
+          f"{result.units} units")
+    print("breakdown (us/unit):")
+    for category, us in result.breakdown_us_per_unit().items():
+        if us > 0:
+            print(f"  {category:<24} {us:9.3f}")
+    if "pool" in result.extras:
+        pool = result.extras["pool"]
+        print(f"shadow pool     : {pool['bytes_allocated'] / (1 << 20):.1f} "
+              f"MiB allocated, peak in-flight {pool['peak_in_flight']}")
+    if result.extras.get("sync_invalidations"):
+        print(f"invalidations   : {result.extras['sync_invalidations']}")
+
+
+def _scheme(value: str) -> str:
+    resolved = PAPER_ALIASES.get(value, value)
+    if resolved not in ALL_SCHEMES:
+        raise argparse.ArgumentTypeError(
+            f"unknown scheme {value!r}; choices: "
+            f"{', '.join(ALL_SCHEMES)} (aliases: identity+, identity-)")
+    return resolved
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'True IOMMU Protection from DMA "
+                    "Attacks' (ASPLOS'16)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list protection schemes and properties")
+
+    audit = sub.add_parser("audit",
+                           help="run the attack scenarios; print Table 1")
+    audit.add_argument("--scheme", type=_scheme, default=None,
+                       help="audit a single scheme instead of all")
+
+    stream = sub.add_parser("stream", help="netperf TCP_STREAM (Figs 3/4/6/7)")
+    stream.add_argument("--scheme", type=_scheme, default="copy")
+    stream.add_argument("--direction", choices=("rx", "tx"), default="rx")
+    stream.add_argument("--size", type=int, default=16384,
+                        help="message size in bytes")
+    stream.add_argument("--cores", type=int, default=1)
+    stream.add_argument("--units", type=int, default=1000,
+                        help="segments (rx) / messages (tx) per core")
+
+    rr = sub.add_parser("rr", help="netperf TCP_RR latency (Fig 9)")
+    rr.add_argument("--scheme", type=_scheme, default="copy")
+    rr.add_argument("--size", type=int, default=64)
+    rr.add_argument("--transactions", type=int, default=300)
+
+    mc = sub.add_parser("memcached", help="memcached + memslap (Fig 11)")
+    mc.add_argument("--scheme", type=_scheme, default="copy")
+    mc.add_argument("--cores", type=int, default=16)
+    mc.add_argument("--transactions", type=int, default=400,
+                    help="transactions per core")
+
+    st = sub.add_parser("storage", help="SSD-style block I/O (§5.5)")
+    st.add_argument("--scheme", type=_scheme, default="copy")
+    st.add_argument("--block-size", type=int, default=4096)
+    st.add_argument("--cores", type=int, default=1)
+    st.add_argument("--ops", type=int, default=400, help="ops per core")
+
+    return parser
+
+
+def cmd_schemes() -> int:
+    print(f"{'name':<20}{'label':<40}{'security':<30}")
+    for name in ALL_SCHEMES:
+        props = scheme_properties(name)
+        security = []
+        if props.iommu_protection:
+            security.append("iommu")
+        if props.sub_page:
+            security.append("sub-page")
+        if props.no_window:
+            security.append("no-window")
+        print(f"{name:<20}{props.label:<40}"
+              f"{'+'.join(security) or 'none':<30}")
+    print("\naliases: identity+ -> identity-strict, "
+          "identity- -> identity-deferred")
+    return 0
+
+
+def cmd_audit(scheme: str | None) -> int:
+    schemes: Sequence[str] = (scheme,) if scheme else ALL_SCHEMES
+    rows = audit_all(schemes=schemes, strict=False)
+    print(render_table1(rows))
+    bad = [row.scheme for row in rows if not row.matches_claims]
+    if bad:
+        print(f"\nMISMATCH between observed and claimed properties: {bad}",
+              file=sys.stderr)
+        return 1
+    print("\nall observed security properties match the schemes' claims")
+    return 0
+
+
+def main(argv: Iterable[str] | None = None) -> int:
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None)
+    if args.command == "schemes":
+        return cmd_schemes()
+    if args.command == "audit":
+        return cmd_audit(args.scheme)
+    if args.command == "stream":
+        result = run_tcp_stream(StreamConfig(
+            scheme=args.scheme, direction=args.direction,
+            message_size=args.size, cores=args.cores,
+            units_per_core=args.units,
+            warmup_units=max(50, args.units // 10)))
+        _print_result(result)
+        return 0
+    if args.command == "rr":
+        result = run_tcp_rr(RRConfig(
+            scheme=args.scheme, message_size=args.size,
+            transactions=args.transactions,
+            warmup_transactions=max(20, args.transactions // 10)))
+        _print_result(result, show_latency=True)
+        return 0
+    if args.command == "memcached":
+        result = run_memcached(MemcachedConfig(
+            scheme=args.scheme, cores=args.cores,
+            transactions_per_core=args.transactions,
+            warmup_transactions=max(30, args.transactions // 10)))
+        _print_result(result, show_tps=True)
+        return 0
+    if args.command == "storage":
+        result = run_storage(StorageConfig(
+            scheme=args.scheme, block_size=args.block_size,
+            cores=args.cores, ops_per_core=args.ops,
+            warmup_ops=max(20, args.ops // 10)))
+        _print_result(result, show_tps=True)
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

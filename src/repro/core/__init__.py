@@ -1,0 +1,20 @@
+"""The paper's contribution: DMA shadowing (shadow pool + copy-based DMA API)."""
+
+from repro.core.hints import BufferView, CopyHint, clamp_hint, full_copy_hint, ip_length_hint
+from repro.core.iova_encoding import DecodedShadowIova, ShadowIovaCodec
+from repro.core.shadow_dma import ShadowDmaApi
+from repro.core.shadow_pool import PoolStats, ShadowBufferMeta, ShadowBufferPool
+
+__all__ = [
+    "ShadowDmaApi",
+    "ShadowBufferPool",
+    "ShadowBufferMeta",
+    "PoolStats",
+    "ShadowIovaCodec",
+    "DecodedShadowIova",
+    "CopyHint",
+    "BufferView",
+    "ip_length_hint",
+    "full_copy_hint",
+    "clamp_hint",
+]

@@ -1,0 +1,60 @@
+"""Copying hints (paper §5.4).
+
+DMA buffers often end up only partially full — an RX ring posts MTU-sized
+buffers but most packets are smaller.  A driver may register an optional
+*copying hint*: a function that, given a view of the buffer, returns how
+many bytes actually need copying.  The hint's input is untrusted (it
+reads device-written data), so it is the hint author's job to be fast and
+safe; the framework clamps the result into ``[0, size]`` regardless.
+
+The prototype hint from the paper — "return the length of the IP packet
+in the buffer" — is provided as :func:`ip_length_hint`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Protocol
+
+#: A hint receives a byte-reader over the buffer plus the mapped size and
+#: returns the number of bytes worth copying.
+CopyHint = Callable[["BufferView", int], int]
+
+ETH_HEADER_LEN = 14
+_IP_TOTLEN_OFFSET = ETH_HEADER_LEN + 2  # IPv4 total-length field
+
+
+class BufferView(Protocol):
+    """Read-only access to (a prefix of) a DMA buffer's bytes."""
+
+    def read(self, offset: int, size: int) -> bytes:
+        ...
+
+
+def clamp_hint(value: int, size: int) -> int:
+    """Sanitize an untrusted hint result into ``[0, size]``."""
+    if value < 0:
+        return 0
+    return min(value, size)
+
+
+def ip_length_hint(view: BufferView, size: int) -> int:
+    """The paper's prototype hint: copy ``eth header + IP total length``.
+
+    Reads the IPv4 total-length field from the (untrusted) frame.  Any
+    parse failure falls back to copying the full buffer — correctness
+    never depends on the hint being right, only efficiency does.
+    """
+    if size < _IP_TOTLEN_OFFSET + 2:
+        return size
+    try:
+        raw = view.read(_IP_TOTLEN_OFFSET, 2)
+        (ip_len,) = struct.unpack("!H", raw)
+    except Exception:
+        return size
+    return clamp_hint(ETH_HEADER_LEN + ip_len, size)
+
+
+def full_copy_hint(view: BufferView, size: int) -> int:  # noqa: ARG001
+    """Degenerate hint: always copy everything (hints disabled)."""
+    return size

@@ -1,0 +1,151 @@
+"""48-bit shadow-buffer IOVA encoding (paper §5.3, Figure 2).
+
+A shadow buffer's IOVA uniquely identifies its metadata structure so that
+``find_shadow`` runs in O(1): decode a few bit fields, index an array.
+The prototype layout from the paper is reproduced exactly:
+
+====  =======  ==========================================================
+bits  width    field
+====  =======  ==========================================================
+47    1        shadow flag (1 = shadow-encoded IOVA; 0 = fallback space)
+40–46 7        owner core id (identifies the free list's core)
+38–39 2        access rights (01 read, 10 write, 11 both)
+37    1        size-class index (0 = 4 KB, 1 = 64 KB in the prototype)
+0–36  37       metadata index ‖ offset — the low ``log2(C)`` bits of a
+               size-class-C buffer address bytes *within* the buffer, the
+               rest index the owning NUMA domain's metadata array
+====  =======  ==========================================================
+
+The encoder is parameterized over the size-class table so configurations
+with more classes (at the price of fewer index bits — §5.3) work too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.iommu.page_table import Perm
+
+SHADOW_FLAG_BIT = 47
+CORE_SHIFT = 40
+CORE_BITS = 7
+RIGHTS_SHIFT = 38
+RIGHTS_BITS = 2
+CLASS_SHIFT = 37
+INDEX_FIELD_BITS = 37
+
+_PERM_TO_CODE = {Perm.READ: 0b01, Perm.WRITE: 0b10, Perm.RW: 0b11}
+_CODE_TO_PERM = {v: k for k, v in _PERM_TO_CODE.items()}
+
+
+@dataclass(frozen=True)
+class DecodedShadowIova:
+    """The fields recovered from a shadow IOVA."""
+
+    core_id: int
+    rights: Perm
+    class_index: int
+    meta_index: int
+    offset: int
+
+
+class ShadowIovaCodec:
+    """Encode/decode shadow IOVAs for a given size-class table.
+
+    ``size_classes`` must be powers of two, ascending.  With ``k`` classes
+    the class field needs ``ceil(log2(k))`` bits; the prototype's single
+    bit supports the default ``(4 KB, 64 KB)`` table.
+    """
+
+    def __init__(self, size_classes: tuple[int, ...] = (4096, 65536)):
+        if not size_classes:
+            raise ConfigurationError("need at least one size class")
+        if list(size_classes) != sorted(set(size_classes)):
+            raise ConfigurationError("size classes must be ascending, unique")
+        for size in size_classes:
+            if size & (size - 1):
+                raise ConfigurationError(
+                    f"size class {size} is not a power of two"
+                )
+        self.size_classes = tuple(size_classes)
+        self.class_bits = max(1, (len(size_classes) - 1).bit_length())
+        #: The class field ends at bit 37 and grows *downward* into the
+        #: index field when more classes are configured — §5.3: "one can
+        #: have more size classes by using less bits for the index".
+        self.class_shift = CLASS_SHIFT - (self.class_bits - 1)
+        if self.class_shift < 20:
+            raise ConfigurationError("too many size classes for the layout")
+        #: Per class: number of low bits addressing inside a buffer.
+        self.offset_bits = tuple(size.bit_length() - 1
+                                 for size in size_classes)
+        for bits in self.offset_bits:
+            if bits >= self.class_shift:
+                raise ConfigurationError(
+                    "size class too large for the remaining index field"
+                )
+
+    # ------------------------------------------------------------------
+    def index_capacity(self, class_index: int) -> int:
+        """Max metadata entries addressable for one size class
+        (2^(index-field-bits − log2 C), §5.3)."""
+        return 1 << (self.class_shift - self.offset_bits[class_index])
+
+    def class_for_size(self, size: int) -> int | None:
+        """Smallest size class holding ``size`` bytes (None = too big)."""
+        for idx, cls in enumerate(self.size_classes):
+            if size <= cls:
+                return idx
+        return None
+
+    # ------------------------------------------------------------------
+    def encode(self, core_id: int, rights: Perm, class_index: int,
+               meta_index: int) -> int:
+        """Base IOVA of the shadow buffer with the given coordinates."""
+        if not 0 <= core_id < (1 << CORE_BITS):
+            raise ConfigurationError(f"core id {core_id} exceeds {CORE_BITS} bits")
+        if rights not in _PERM_TO_CODE:
+            raise ConfigurationError(f"unencodable rights: {rights!r}")
+        if not 0 <= class_index < len(self.size_classes):
+            raise ConfigurationError(f"bad size class index {class_index}")
+        if not 0 <= meta_index < self.index_capacity(class_index):
+            raise ConfigurationError(
+                f"metadata index {meta_index} exceeds capacity for class "
+                f"{self.size_classes[class_index]}"
+            )
+        return (
+            (1 << SHADOW_FLAG_BIT)
+            | (core_id << CORE_SHIFT)
+            | (_PERM_TO_CODE[rights] << RIGHTS_SHIFT)
+            | (class_index << self.class_shift)
+            | (meta_index << self.offset_bits[class_index])
+        )
+
+    def decode(self, iova: int) -> DecodedShadowIova:
+        """Recover the fields of a shadow IOVA (offset included)."""
+        if not self.is_shadow(iova):
+            raise ConfigurationError(f"IOVA {iova:#x} is not shadow-encoded")
+        core_id = (iova >> CORE_SHIFT) & ((1 << CORE_BITS) - 1)
+        rights_code = (iova >> RIGHTS_SHIFT) & ((1 << RIGHTS_BITS) - 1)
+        rights = _CODE_TO_PERM.get(rights_code)
+        if rights is None:
+            raise ConfigurationError(f"IOVA {iova:#x} has invalid rights 00")
+        class_index = (iova >> self.class_shift) & ((1 << self.class_bits) - 1)
+        if class_index >= len(self.size_classes):
+            raise ConfigurationError(
+                f"IOVA {iova:#x} encodes unknown size class {class_index}"
+            )
+        off_bits = self.offset_bits[class_index]
+        field = iova & ((1 << self.class_shift) - 1)
+        return DecodedShadowIova(
+            core_id=core_id,
+            rights=rights,
+            class_index=class_index,
+            meta_index=field >> off_bits,
+            offset=iova & ((1 << off_bits) - 1),
+        )
+
+    @staticmethod
+    def is_shadow(iova: int) -> bool:
+        """MSB set ⇒ shadow encoding; clear ⇒ fallback IOVA space (§5.3)."""
+        return bool(iova & (1 << SHADOW_FLAG_BIT))

@@ -1,0 +1,316 @@
+"""DMA shadowing — the copy-based DMA API (paper §5.2, §5.4, §5.5).
+
+This is the paper's contribution, packaged as just another
+:class:`~repro.dma.api.DmaApi` implementation (design goal *transparency*,
+§5.1): drivers call the same ``dma_map``/``dma_unmap`` and get, invisibly,
+
+* ``dma_map``: acquire a permanently-mapped shadow buffer from the pool,
+  copy the OS buffer into it if the device will read it, return the
+  shadow's IOVA;
+* ``dma_unmap``: ``find_shadow`` the buffer in O(1) from the IOVA, copy
+  the device-written bytes back to the OS buffer if the device wrote,
+  release the shadow.
+
+No page-table update, no IOTLB invalidation, no IOVA allocation on the
+hot path — the costs that cripple the zero-copy schemes simply do not
+occur.  The price is the copy, which §6 shows is the cheaper side of the
+trade for DMA-intensive workloads.
+
+Buffers larger than the biggest size class take the §5.5 *hybrid* path:
+copy only the sub-page head/tail through small shadows and map the
+page-aligned middle zero-copy (with a strict unmap), preserving
+byte-granularity protection at huge-buffer sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.hints import CopyHint, clamp_hint
+from repro.core.shadow_pool import ShadowBufferMeta, ShadowBufferPool
+from repro.dma.api import (
+    CoherentBuffer,
+    DmaApi,
+    DmaDirection,
+    DmaHandle,
+    SchemeProperties,
+)
+from repro.errors import DmaApiError
+from repro.hw.cpu import CAT_COPY_MGMT, CAT_MEMCPY, CAT_OTHER, Core
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
+from repro.iommu.page_table import Perm
+from repro.iova.base import IovaAllocator
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_up
+
+
+class _PhysView:
+    """Read-only window over physical memory, handed to copy hints."""
+
+    __slots__ = ("_memory", "_pa", "_size")
+
+    def __init__(self, memory, pa: int, size: int):
+        self._memory = memory
+        self._pa = pa
+        self._size = size
+
+    def read(self, offset: int, size: int) -> bytes:
+        if offset < 0 or offset + size > self._size:
+            raise ValueError("hint read outside buffer")
+        return self._memory.read(self._pa + offset, size)
+
+
+@dataclass
+class _HybridCookie:
+    """Unmap context for a §5.5 hybrid (huge-buffer) mapping."""
+
+    iova_base: int          # page-aligned base of the allocated IOVA range
+    total_pages: int
+    head_meta: Optional[ShadowBufferMeta]
+    tail_meta: Optional[ShadowBufferMeta]
+    head_len: int
+    tail_len: int
+
+
+class ShadowDmaApi(DmaApi):
+    """The ``copy`` scheme: strict byte-granularity protection via DMA
+    shadowing."""
+
+    name = "copy"
+    properties = SchemeProperties(
+        label="copy (shadow buffers)",
+        iommu_protection=True,
+        sub_page=True,
+        no_window=True,
+        single_core_perf=True,
+        multi_core_perf=True,
+    )
+
+    def __init__(self, machine: Machine, iommu: Iommu, device_id: int,
+                 allocators: KernelAllocators,
+                 fallback_iova: IovaAllocator,
+                 size_classes: tuple[int, ...] = (4096, 65536),
+                 sticky: bool = True,
+                 hybrid_huge_buffers: bool = True,
+                 max_buffers_per_class: int = 16 * 1024,
+                 max_pool_bytes: int | None = None):
+        super().__init__()
+        self.machine = machine
+        self.cost = machine.cost
+        self.iommu = iommu
+        self.domain: Domain = iommu.attach_device(device_id)
+        self.allocators = allocators
+        self.fallback_iova = fallback_iova
+        self.hybrid_huge_buffers = hybrid_huge_buffers
+        self.pool = ShadowBufferPool(
+            machine, iommu, self.domain, allocators, fallback_iova,
+            size_classes=size_classes, sticky=sticky,
+            max_buffers_per_class=max_buffers_per_class,
+            max_pool_bytes=max_pool_bytes,
+        )
+        self._port = TranslatingDmaPort(iommu, self.domain)
+        self._tx_hint: CopyHint | None = None
+        self._rx_hint: CopyHint | None = None
+        self._coherent: dict[int, CoherentBuffer] = {}
+        self.hybrid_maps = 0
+
+    # ------------------------------------------------------------------
+    # Copy hints (§5.4).
+    # ------------------------------------------------------------------
+    def register_copy_hint(self, direction: DmaDirection,
+                           hint: CopyHint | None) -> None:
+        """Register (or clear, with ``None``) a driver copying hint.
+
+        The TX hint inspects the OS buffer at map time; the RX hint
+        inspects the *device-written shadow* at unmap time, so its input
+        is untrusted (§5.4) — results are clamped to the mapped size.
+        """
+        if direction is DmaDirection.TO_DEVICE:
+            self._tx_hint = hint
+        elif direction is DmaDirection.FROM_DEVICE:
+            self._rx_hint = hint
+        else:
+            raise DmaApiError("hints are per direction; register both")
+
+    # ------------------------------------------------------------------
+    # Map / unmap (§5.2).
+    # ------------------------------------------------------------------
+    def _map(self, core: Core, buf: KBuffer,
+             direction: DmaDirection) -> tuple[DmaHandle, object]:
+        if self.pool.codec.class_for_size(buf.size) is None:
+            if not self.hybrid_huge_buffers:
+                raise DmaApiError(
+                    f"{buf.size} B exceeds the largest shadow class and the "
+                    f"hybrid path is disabled"
+                )
+            return self._map_hybrid(core, buf, direction)
+        meta = self.pool.acquire_shadow(core, buf, buf.size, direction.perm)
+        if direction.device_reads:
+            copy_len = buf.size
+            if self._tx_hint is not None:
+                core.charge(self.cost.copy_hint_cycles, CAT_COPY_MGMT)
+                view = _PhysView(self.machine.memory, buf.pa, buf.size)
+                copy_len = clamp_hint(self._tx_hint(view, buf.size), buf.size)
+            self._charged_copy(core, dst_pa=meta.pa, src_pa=buf.pa,
+                               nbytes=copy_len,
+                               remote=meta.domain_node != buf.node)
+        handle = DmaHandle(iova=meta.iova, size=buf.size, direction=direction)
+        return handle, meta
+
+    def _unmap(self, core: Core, buf: KBuffer, handle: DmaHandle,
+               cookie: object) -> None:
+        if isinstance(cookie, _HybridCookie):
+            self._unmap_hybrid(core, buf, handle, cookie)
+            return
+        # The real implementation has only the IOVA at unmap time; use the
+        # O(1) lookup and cross-check against the map-time cookie.
+        meta = self.pool.find_shadow(core, handle.iova)
+        if meta is not cookie:
+            raise DmaApiError(
+                f"find_shadow({handle.iova:#x}) resolved to a different "
+                f"buffer than dma_map produced"
+            )
+        if handle.direction.device_writes:
+            copy_len = handle.size
+            if self._rx_hint is not None:
+                core.charge(self.cost.copy_hint_cycles, CAT_COPY_MGMT)
+                view = _PhysView(self.machine.memory, meta.pa, handle.size)
+                copy_len = clamp_hint(self._rx_hint(view, handle.size),
+                                      handle.size)
+            self._charged_copy(core, dst_pa=buf.pa, src_pa=meta.pa,
+                               nbytes=copy_len,
+                               remote=meta.domain_node != buf.node)
+        self.pool.release_shadow(core, meta)
+
+    def _charged_copy(self, core: Core, dst_pa: int, src_pa: int,
+                      nbytes: int, remote: bool) -> None:
+        """Move real bytes and charge the calibrated memcpy + pollution."""
+        if nbytes <= 0:
+            return
+        cycles = self.cost.memcpy_cycles(nbytes)
+        if remote:
+            cycles = round(cycles * self.cost.numa_remote_copy_factor)
+        core.charge(cycles, CAT_MEMCPY)
+        pollution = self.cost.pollution_cycles(nbytes)
+        if pollution:
+            core.charge(pollution, CAT_OTHER)
+        self.machine.memory.copy(dst_pa, src_pa, nbytes)
+
+    # ------------------------------------------------------------------
+    # Hybrid huge buffers (§5.5).
+    # ------------------------------------------------------------------
+    def _map_hybrid(self, core: Core, buf: KBuffer,
+                    direction: DmaDirection) -> tuple[DmaHandle, _HybridCookie]:
+        """Copy only the sub-page head/tail; map the aligned middle zero-copy."""
+        rights = direction.perm
+        offset = buf.pa & (PAGE_SIZE - 1)
+        head_len = (PAGE_SIZE - offset) % PAGE_SIZE
+        head_len = min(head_len, buf.size)
+        remaining = buf.size - head_len
+        middle_pages = remaining >> PAGE_SHIFT
+        tail_len = remaining & (PAGE_SIZE - 1)
+        total_pages = (1 if head_len else 0) + middle_pages + (1 if tail_len else 0)
+        iova_base = self.fallback_iova.alloc(total_pages, core, buf.pa - offset)
+
+        cursor = iova_base
+        head_meta = tail_meta = None
+        if head_len:
+            head_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE, rights)
+            self.iommu.map_range(self.domain, cursor, head_meta.pa,
+                                 PAGE_SIZE, rights, core)
+            if direction.device_reads:
+                self._charged_copy(core, dst_pa=head_meta.pa + offset,
+                                   src_pa=buf.pa, nbytes=head_len,
+                                   remote=head_meta.domain_node != buf.node)
+            cursor += PAGE_SIZE
+        if middle_pages:
+            middle_pa = buf.pa + head_len
+            self.iommu.map_range(self.domain, cursor, middle_pa,
+                                 middle_pages << PAGE_SHIFT, rights, core)
+            cursor += middle_pages << PAGE_SHIFT
+        if tail_len:
+            tail_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE, rights)
+            self.iommu.map_range(self.domain, cursor, tail_meta.pa,
+                                 PAGE_SIZE, rights, core)
+            if direction.device_reads:
+                tail_src = buf.pa + head_len + (middle_pages << PAGE_SHIFT)
+                self._charged_copy(core, dst_pa=tail_meta.pa,
+                                   src_pa=tail_src, nbytes=tail_len,
+                                   remote=tail_meta.domain_node != buf.node)
+
+        self.hybrid_maps += 1
+        handle_iova = iova_base + offset if head_len else iova_base
+        cookie = _HybridCookie(iova_base=iova_base, total_pages=total_pages,
+                               head_meta=head_meta, tail_meta=tail_meta,
+                               head_len=head_len, tail_len=tail_len)
+        return (DmaHandle(iova=handle_iova, size=buf.size,
+                          direction=direction), cookie)
+
+    def _unmap_hybrid(self, core: Core, buf: KBuffer, handle: DmaHandle,
+                      cookie: _HybridCookie) -> None:
+        offset = buf.pa & (PAGE_SIZE - 1)
+        middle_pages = (cookie.total_pages
+                        - (1 if cookie.head_len else 0)
+                        - (1 if cookie.tail_len else 0))
+        if handle.direction.device_writes:
+            if cookie.head_meta is not None:
+                self._charged_copy(
+                    core, dst_pa=buf.pa,
+                    src_pa=cookie.head_meta.pa + offset,
+                    nbytes=cookie.head_len,
+                    remote=cookie.head_meta.domain_node != buf.node)
+            if cookie.tail_meta is not None:
+                tail_dst = buf.pa + cookie.head_len + (middle_pages << PAGE_SHIFT)
+                self._charged_copy(
+                    core, dst_pa=tail_dst, src_pa=cookie.tail_meta.pa,
+                    nbytes=cookie.tail_len,
+                    remote=cookie.tail_meta.domain_node != buf.node)
+        # Destroy the transient mapping *strictly* — invalidate before the
+        # buffer can be reused (§5.5).
+        self.iommu.unmap_range(self.domain, cookie.iova_base,
+                               cookie.total_pages << PAGE_SHIFT, core)
+        self.iommu.invalidation_queue.invalidate_sync(
+            core, self.domain.domain_id, cookie.iova_base >> PAGE_SHIFT,
+            cookie.total_pages)
+        if cookie.head_meta is not None:
+            self.pool.release_shadow(core, cookie.head_meta)
+        if cookie.tail_meta is not None:
+            self.pool.release_shadow(core, cookie.tail_meta)
+        self.fallback_iova.free(cookie.iova_base, cookie.total_pages, core)
+
+    # ------------------------------------------------------------------
+    # Coherent allocations: standard strict implementation (§5.2 — they
+    # are infrequent and already page-granular, hence byte-safe).
+    # ------------------------------------------------------------------
+    def dma_alloc_coherent(self, core: Core, size: int,
+                           node: int = 0) -> CoherentBuffer:
+        pages = max(1, page_align_up(size) >> PAGE_SHIFT)
+        order = max(0, (pages - 1).bit_length())
+        pa = self.allocators.buddies[node].alloc_pages(order, core)
+        npages = 1 << order
+        iova = self.fallback_iova.alloc(npages, core, pa)
+        self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
+                             Perm.RW, core)
+        kbuf = KBuffer(pa=pa, size=size, node=node)
+        buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
+        self._coherent[iova] = buf
+        self.stats.coherent_allocs += 1
+        return buf
+
+    def dma_free_coherent(self, core: Core, buf: CoherentBuffer) -> None:
+        if self._coherent.pop(buf.iova, None) is None:
+            raise DmaApiError(f"free of unknown coherent buffer {buf.iova:#x}")
+        pages = max(1, page_align_up(buf.size) >> PAGE_SHIFT)
+        order = max(0, (pages - 1).bit_length())
+        npages = 1 << order
+        self.iommu.unmap_range(self.domain, buf.iova, npages << PAGE_SHIFT,
+                               core)
+        self.iommu.invalidation_queue.invalidate_sync(
+            core, self.domain.domain_id, buf.iova >> PAGE_SHIFT, npages)
+        self.fallback_iova.free(buf.iova, npages, core)
+        self.allocators.buddies[buf.kbuf.node].free_pages(buf.kbuf.pa, core)
+
+    def port(self) -> TranslatingDmaPort:
+        return self._port

@@ -1,0 +1,209 @@
+"""The DMA API — the interface drivers use to authorize DMAs (§2.2).
+
+Mirrors the Linux streaming DMA API:
+
+* ``dma_map`` / ``dma_unmap`` for single buffers,
+* ``dma_map_sg`` / ``dma_unmap_sg`` for scatter/gather lists,
+* ``dma_alloc_coherent`` / ``dma_free_coherent`` for shared
+  driver↔device structures (descriptor rings, mailboxes).
+
+Each protection scheme implements this interface.  DMA shadowing's design
+goal of *transparency* (§5.1) is expressed here: the shadow implementation
+is just another subclass — drivers are oblivious to which scheme runs
+beneath them.
+
+The base class also enforces the API contract (no double unmap, unmap
+must quote the map's size/direction), because the paper's threat model
+assumes drivers use the API correctly and we want tests to prove ours do.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import DmaApiError
+from repro.hw.cpu import Core
+from repro.iommu.iommu import DmaPort
+from repro.iommu.page_table import Perm
+from repro.kalloc.slab import KBuffer
+
+
+class DmaDirection(enum.Enum):
+    """Which way the data flows — determines device access rights."""
+
+    TO_DEVICE = "to_device"       # device reads the buffer (e.g. TX)
+    FROM_DEVICE = "from_device"   # device writes the buffer (e.g. RX)
+    BIDIRECTIONAL = "bidirectional"
+
+    @property
+    def perm(self) -> Perm:
+        if self is DmaDirection.TO_DEVICE:
+            return Perm.READ
+        if self is DmaDirection.FROM_DEVICE:
+            return Perm.WRITE
+        return Perm.RW
+
+    @property
+    def device_reads(self) -> bool:
+        return self in (DmaDirection.TO_DEVICE, DmaDirection.BIDIRECTIONAL)
+
+    @property
+    def device_writes(self) -> bool:
+        return self in (DmaDirection.FROM_DEVICE, DmaDirection.BIDIRECTIONAL)
+
+
+@dataclass(frozen=True)
+class DmaHandle:
+    """What ``dma_map`` returns: the bus address the driver programs into
+    the device, plus the size/direction needed at unmap time."""
+
+    iova: int
+    size: int
+    direction: DmaDirection
+
+
+@dataclass(frozen=True)
+class CoherentBuffer:
+    """A ``dma_alloc_coherent`` allocation: CPU and device views."""
+
+    kbuf: KBuffer
+    iova: int
+    size: int
+
+
+@dataclass(frozen=True)
+class SchemeProperties:
+    """The Table 1 columns for one protection scheme.
+
+    ``sub_page`` and ``no_window`` are *claims* — the security audit in
+    :mod:`repro.attacks` verifies them empirically.
+    """
+
+    label: str
+    iommu_protection: bool
+    sub_page: bool
+    no_window: bool
+    single_core_perf: bool
+    multi_core_perf: bool
+
+
+@dataclass
+class _LiveMapping:
+    buf: KBuffer
+    handle: DmaHandle
+    cookie: object = None
+
+
+@dataclass
+class DmaApiStats:
+    """Operation counters every implementation maintains."""
+
+    maps: int = 0
+    unmaps: int = 0
+    sg_maps: int = 0
+    coherent_allocs: int = 0
+    bytes_mapped: int = 0
+
+    def note_map(self, size: int) -> None:
+        self.maps += 1
+        self.bytes_mapped += size
+
+
+class DmaApi(abc.ABC):
+    """Base class for all protection schemes."""
+
+    #: Scheme identifier used by the registry and in result tables.
+    name: str = "abstract"
+    properties: SchemeProperties
+
+    def __init__(self) -> None:
+        self._live: Dict[int, _LiveMapping] = {}
+        self.stats = DmaApiStats()
+
+    # ------------------------------------------------------------------
+    # Public API (contract enforcement + dispatch).
+    # ------------------------------------------------------------------
+    def dma_map(self, core: Core, buf: KBuffer,
+                direction: DmaDirection) -> DmaHandle:
+        """Authorize a DMA to/from ``buf``; returns the bus address handle."""
+        if buf.size <= 0:
+            raise DmaApiError("dma_map of empty buffer")
+        handle, cookie = self._map(core, buf, direction)
+        if handle.iova in self._live:
+            raise DmaApiError(
+                f"scheme bug: IOVA {handle.iova:#x} handed out twice"
+            )
+        self._live[handle.iova] = _LiveMapping(buf=buf, handle=handle,
+                                               cookie=cookie)
+        self.stats.note_map(buf.size)
+        return handle
+
+    def dma_unmap(self, core: Core, handle: DmaHandle) -> None:
+        """Revoke the authorization; the driver may use the buffer again."""
+        live = self._live.pop(handle.iova, None)
+        if live is None:
+            raise DmaApiError(f"dma_unmap of unknown IOVA {handle.iova:#x}")
+        if live.handle != handle:
+            self._live[handle.iova] = live
+            raise DmaApiError(
+                f"dma_unmap arguments disagree with dma_map for "
+                f"IOVA {handle.iova:#x}"
+            )
+        self._unmap(core, live.buf, handle, live.cookie)
+        self.stats.unmaps += 1
+
+    def dma_map_sg(self, core: Core, bufs: Sequence[KBuffer],
+                   direction: DmaDirection) -> List[DmaHandle]:
+        """Map a scatter/gather list (each element mapped analogously §2.2)."""
+        if not bufs:
+            raise DmaApiError("dma_map_sg of empty list")
+        handles = [self.dma_map(core, buf, direction) for buf in bufs]
+        self.stats.sg_maps += 1
+        return handles
+
+    def dma_unmap_sg(self, core: Core, handles: Sequence[DmaHandle]) -> None:
+        for handle in handles:
+            self.dma_unmap(core, handle)
+
+    @abc.abstractmethod
+    def dma_alloc_coherent(self, core: Core, size: int,
+                           node: int = 0) -> CoherentBuffer:
+        """Allocate driver↔device shared memory (page quantities, §2.2)."""
+
+    @abc.abstractmethod
+    def dma_free_coherent(self, core: Core, buf: CoherentBuffer) -> None:
+        """Free and unmap a coherent allocation (strict semantics, §5.2)."""
+
+    @abc.abstractmethod
+    def port(self) -> DmaPort:
+        """The bus connection the device should issue its DMAs through."""
+
+    # ------------------------------------------------------------------
+    # Scheme hooks.
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _map(self, core: Core, buf: KBuffer,
+             direction: DmaDirection) -> tuple[DmaHandle, object]:
+        """Scheme-specific map; returns (handle, opaque unmap cookie)."""
+
+    @abc.abstractmethod
+    def _unmap(self, core: Core, buf: KBuffer, handle: DmaHandle,
+               cookie: object) -> None:
+        """Scheme-specific unmap."""
+
+    # ------------------------------------------------------------------
+    # Deferred-work hooks (no-ops for strict schemes).
+    # ------------------------------------------------------------------
+    def flush_deferred(self, core: Core) -> None:
+        """Force any pending deferred invalidations to complete."""
+
+    def quiesce(self, core: Core) -> None:
+        """Bring the scheme to a safe state (used between benchmark runs)."""
+        self.flush_deferred(core)
+
+    @property
+    def live_mappings(self) -> int:
+        return len(self._live)

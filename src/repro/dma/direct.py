@@ -1,0 +1,70 @@
+"""``no iommu`` baseline: bus address = physical address, no protection.
+
+This is the paper's performance yardstick — the fastest possible
+configuration and the one that is defenseless against DMA attacks.
+``dma_map`` degenerates to returning the buffer's physical address; the
+device's port bypasses translation entirely.
+"""
+
+from __future__ import annotations
+
+from repro.dma.api import (
+    CoherentBuffer,
+    DmaApi,
+    DmaDirection,
+    DmaHandle,
+    SchemeProperties,
+)
+from repro.hw.cpu import Core
+from repro.hw.machine import Machine
+from repro.iommu.iommu import PassthroughDmaPort
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.sim.units import PAGE_SHIFT, page_align_up
+
+
+class NoIommuDmaApi(DmaApi):
+    """IOMMU disabled — DMAs reach physical memory unchecked."""
+
+    name = "no-iommu"
+    properties = SchemeProperties(
+        label="no-iommu",
+        iommu_protection=False,
+        sub_page=False,
+        no_window=False,
+        single_core_perf=True,
+        multi_core_perf=True,
+    )
+
+    def __init__(self, machine: Machine, allocators: KernelAllocators):
+        super().__init__()
+        self.machine = machine
+        self.allocators = allocators
+        self._port = PassthroughDmaPort(machine)
+        self._coherent: dict[int, int] = {}  # pa -> node
+
+    def _map(self, core: Core, buf: KBuffer,
+             direction: DmaDirection) -> tuple[DmaHandle, object]:
+        # A handful of cycles for the (no-op) dma_map_single call itself.
+        core.charge(20)
+        return DmaHandle(iova=buf.pa, size=buf.size, direction=direction), None
+
+    def _unmap(self, core: Core, buf: KBuffer, handle: DmaHandle,
+               cookie: object) -> None:
+        core.charge(20)
+
+    def dma_alloc_coherent(self, core: Core, size: int,
+                           node: int = 0) -> CoherentBuffer:
+        pages = page_align_up(size) >> PAGE_SHIFT
+        order = max(0, (pages - 1).bit_length())
+        pa = self.allocators.buddies[node].alloc_pages(order, core)
+        self._coherent[pa] = node
+        kbuf = KBuffer(pa=pa, size=size, node=node)
+        self.stats.coherent_allocs += 1
+        return CoherentBuffer(kbuf=kbuf, iova=pa, size=size)
+
+    def dma_free_coherent(self, core: Core, buf: CoherentBuffer) -> None:
+        node = self._coherent.pop(buf.kbuf.pa)
+        self.allocators.buddies[node].free_pages(buf.kbuf.pa, core)
+
+    def port(self) -> PassthroughDmaPort:
+        return self._port

@@ -1,0 +1,163 @@
+"""Factory for protection schemes — one name per row of Table 1.
+
+==================  ========================================================
+scheme name         composition
+==================  ========================================================
+``no-iommu``        IOMMU disabled (no protection)
+``linux-strict``    stock Linux: rbtree IOVA allocator + strict unmap
+``linux-deferred``  stock Linux default: rbtree + global-list deferral
+``eiovar-strict``   FAST'15 [38]: cached IOVA ranges + strict unmap
+``eiovar-deferred`` FAST'15 allocator + global-list deferral
+``magazine-strict`` ATC'15 [42]: per-core IOVA magazines + strict unmap
+``magazine-deferred`` ATC'15: per-core magazines + per-core deferral
+``identity-strict`` the paper's **identity+**: identity IOVAs + strict
+``identity-deferred`` the paper's **identity−**: identity IOVAs + per-core
+                    deferral
+``copy``            the paper's contribution: DMA shadowing (§5)
+==================  ========================================================
+
+Everything except ``no-iommu`` translates through the same IOMMU model;
+the schemes differ only in IOVA allocation and invalidation policy —
+exactly the design space of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.dma.api import DmaApi, SchemeProperties
+from repro.dma.direct import NoIommuDmaApi
+from repro.dma.zerocopy import DeferredZeroCopyDmaApi, StrictZeroCopyDmaApi
+from repro.errors import ConfigurationError
+from repro.hw.locks import SpinLock
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Iommu
+from repro.iova.allocators import (
+    EiovaRAllocator,
+    IdentityIovaAllocator,
+    LinuxIovaAllocator,
+    MagazineIovaAllocator,
+)
+from repro.kalloc.slab import KernelAllocators
+
+#: Canonical short labels used in the paper's figures.
+PAPER_ALIASES = {
+    "identity+": "identity-strict",
+    "identity-": "identity-deferred",
+}
+
+_PROPERTIES: Dict[str, SchemeProperties] = {
+    "no-iommu": NoIommuDmaApi.properties,
+    "linux-strict": SchemeProperties(
+        "Linux strict", iommu_protection=True, sub_page=False,
+        no_window=True, single_core_perf=False, multi_core_perf=False),
+    "linux-deferred": SchemeProperties(
+        "Linux deferred", iommu_protection=True, sub_page=False,
+        no_window=False, single_core_perf=True, multi_core_perf=False),
+    "eiovar-strict": SchemeProperties(
+        "FAST'15 strict", iommu_protection=True, sub_page=False,
+        no_window=True, single_core_perf=True, multi_core_perf=False),
+    "eiovar-deferred": SchemeProperties(
+        "FAST'15 deferred", iommu_protection=True, sub_page=False,
+        no_window=False, single_core_perf=True, multi_core_perf=False),
+    "magazine-strict": SchemeProperties(
+        "ATC'15 strict", iommu_protection=True, sub_page=False,
+        no_window=True, single_core_perf=True, multi_core_perf=False),
+    "magazine-deferred": SchemeProperties(
+        "ATC'15 deferred", iommu_protection=True, sub_page=False,
+        no_window=False, single_core_perf=True, multi_core_perf=True),
+    "identity-strict": SchemeProperties(
+        "identity+ (strict page protection)", iommu_protection=True,
+        sub_page=False, no_window=True, single_core_perf=True,
+        multi_core_perf=False),
+    "identity-deferred": SchemeProperties(
+        "identity- (deferred page protection)", iommu_protection=True,
+        sub_page=False, no_window=False, single_core_perf=True,
+        multi_core_perf=True),
+    "copy": SchemeProperties(
+        "copy (shadow buffers)", iommu_protection=True, sub_page=True,
+        no_window=True, single_core_perf=True, multi_core_perf=True),
+    # Extension rows (paper §7 related work, built here as executable
+    # comparisons — see DESIGN.md):
+    "swiotlb": SchemeProperties(
+        "SWIOTLB (bounce buffers, no IOMMU)", iommu_protection=False,
+        sub_page=False, no_window=False, single_core_perf=True,
+        multi_core_perf=False),
+    "self-invalidating": SchemeProperties(
+        "self-invalidating IOMMU [Basu et al.]", iommu_protection=True,
+        sub_page=False, no_window=False, single_core_perf=True,
+        multi_core_perf=True),
+}
+
+ALL_SCHEMES = tuple(_PROPERTIES)
+
+#: The four systems the paper's throughput figures compare.
+FIGURE_SCHEMES = ("no-iommu", "copy", "identity-deferred", "identity-strict")
+
+
+def scheme_properties(name: str) -> SchemeProperties:
+    name = PAPER_ALIASES.get(name, name)
+    try:
+        return _PROPERTIES[name]
+    except KeyError:
+        raise ConfigurationError(f"unknown scheme {name!r}") from None
+
+
+def create_dma_api(name: str, machine: Machine, iommu: Iommu | None,
+                   device_id: int, allocators: KernelAllocators,
+                   **scheme_kwargs) -> DmaApi:
+    """Build the protection scheme ``name`` for ``device_id``.
+
+    ``iommu`` may be ``None`` only for ``no-iommu``.  ``scheme_kwargs``
+    pass through to scheme-specific constructors (e.g. ``sticky=False``
+    or ``size_classes=...`` for ``copy``).
+    """
+    name = PAPER_ALIASES.get(name, name)
+    if name == "no-iommu":
+        return NoIommuDmaApi(machine, allocators)
+    if name == "swiotlb":
+        from repro.dma.swiotlb import SwiotlbDmaApi
+
+        return SwiotlbDmaApi(machine, allocators, **scheme_kwargs)
+    if iommu is None:
+        raise ConfigurationError(f"scheme {name!r} requires an IOMMU")
+    if name == "self-invalidating":
+        from repro.dma.selfinval import SelfInvalidatingDmaApi
+
+        return SelfInvalidatingDmaApi(machine, iommu, device_id,
+                                      allocators, **scheme_kwargs)
+    if name == "copy":
+        from repro.core.shadow_dma import ShadowDmaApi  # avoid import cycle
+
+        fallback = MagazineIovaAllocator(
+            machine.cost, machine.num_cores,
+            SpinLock("iova-depot", machine.cost))
+        return ShadowDmaApi(machine, iommu, device_id, allocators,
+                            fallback_iova=fallback, **scheme_kwargs)
+
+    iova_kind, _, policy = name.rpartition("-")
+    makers: Dict[str, Callable] = {
+        "linux": lambda: LinuxIovaAllocator(
+            machine.cost, SpinLock("iova-rbtree", machine.cost)),
+        "eiovar": lambda: EiovaRAllocator(
+            machine.cost, SpinLock("iova-rbtree", machine.cost)),
+        "magazine": lambda: MagazineIovaAllocator(
+            machine.cost, machine.num_cores,
+            SpinLock("iova-depot", machine.cost)),
+        "identity": lambda: IdentityIovaAllocator(machine.cost),
+    }
+    if iova_kind not in makers or policy not in ("strict", "deferred"):
+        raise ConfigurationError(f"unknown scheme {name!r}")
+    iova_allocator = makers[iova_kind]()
+    props = _PROPERTIES[name]
+    if policy == "strict":
+        return StrictZeroCopyDmaApi(machine, iommu, device_id, allocators,
+                                    iova_allocator, name=name,
+                                    properties=props, **scheme_kwargs)
+    # Deferred: stock Linux (and EiovaR) batch on a single global list;
+    # the scalable schemes batch per core (§2.2.1).
+    per_core = iova_kind in ("magazine", "identity")
+    return DeferredZeroCopyDmaApi(machine, iommu, device_id, allocators,
+                                  iova_allocator, name=name,
+                                  per_core_batching=per_core,
+                                  properties=props, **scheme_kwargs)

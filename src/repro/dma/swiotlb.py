@@ -1,0 +1,161 @@
+"""SWIOTLB — Linux's software bounce-buffer mode (paper §7, [2]).
+
+Related work the paper distinguishes itself from: SWIOTLB also *copies*
+DMA data through dedicated bounce buffers, but it exists to let devices
+with limited addressing reach high memory — it makes **no use of the
+IOMMU** and therefore provides **no protection whatsoever**: the device
+can still DMA anywhere.  Implemented here so the comparison is
+executable: the audit shows SWIOTLB failing every security column while
+paying copy costs comparable to DMA shadowing's.
+
+The bounce pool is a single contiguous low-memory region carved into
+slots (Linux uses 2 KB "IO TLB" slabs); allocation is a simple
+lock-protected bitmap-style free list — adequate for the comparison, and
+true to the original's global-lock behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dma.api import (
+    CoherentBuffer,
+    DmaApi,
+    DmaDirection,
+    DmaHandle,
+    SchemeProperties,
+)
+from repro.errors import DmaApiError, PoolExhaustedError
+from repro.hw.cpu import CAT_MEMCPY, CAT_OTHER, Core
+from repro.hw.locks import SpinLock
+from repro.hw.machine import Machine
+from repro.iommu.iommu import PassthroughDmaPort
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.sim.units import PAGE_SHIFT, page_align_up
+
+#: Linux's default IO TLB slot granularity.
+SWIOTLB_SLOT_BYTES = 2048
+
+
+@dataclass
+class _Bounce:
+    slot_start: int
+    nslots: int
+    bounce_pa: int
+
+
+class SwiotlbDmaApi(DmaApi):
+    """Bounce-buffer DMA API: copies like ``copy``, protects like nothing."""
+
+    name = "swiotlb"
+    properties = SchemeProperties(
+        label="SWIOTLB (bounce buffers, no IOMMU)",
+        iommu_protection=False,
+        sub_page=False,
+        no_window=False,
+        single_core_perf=True,
+        multi_core_perf=False,  # single global pool lock
+    )
+
+    def __init__(self, machine: Machine, allocators: KernelAllocators,
+                 pool_slots: int = 32 * 1024, node: int = 0):
+        super().__init__()
+        self.machine = machine
+        self.cost = machine.cost
+        self.allocators = allocators
+        self._port = PassthroughDmaPort(machine)
+        npages = (pool_slots * SWIOTLB_SLOT_BYTES) >> PAGE_SHIFT
+        order = max(0, (npages - 1).bit_length())
+        self.pool_base = allocators.buddies[node].alloc_pages(order)
+        self.pool_slots = pool_slots
+        self._free_runs: List[tuple[int, int]] = [(0, pool_slots)]
+        self._lock = SpinLock("swiotlb", machine.cost)
+        self._coherent: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _alloc_slots(self, core: Core, nslots: int) -> int:
+        self._lock.acquire(core)
+        core.charge(180, CAT_OTHER)  # bitmap scan
+        # LIFO exact-fit first (recently freed slots are cache warm),
+        # then first-fit.
+        for i in range(len(self._free_runs) - 1, -1, -1):
+            if self._free_runs[i][1] == nslots:
+                start = self._free_runs.pop(i)[0]
+                self._lock.release(core)
+                return start
+        for i, (start, length) in enumerate(self._free_runs):
+            if length >= nslots:
+                if length == nslots:
+                    del self._free_runs[i]
+                else:
+                    self._free_runs[i] = (start + nslots, length - nslots)
+                self._lock.release(core)
+                return start
+        self._lock.release(core)
+        raise PoolExhaustedError("SWIOTLB pool exhausted")
+
+    def _free_slots(self, core: Core, start: int, nslots: int) -> None:
+        self._lock.acquire(core)
+        core.charge(120, CAT_OTHER)
+        self._free_runs.append((start, nslots))
+        # Keep the run list tidy: merge adjacent runs occasionally.
+        if len(self._free_runs) > 64:
+            self._free_runs.sort()
+            merged = [self._free_runs[0]]
+            for s, l in self._free_runs[1:]:
+                ps, pl = merged[-1]
+                if ps + pl == s:
+                    merged[-1] = (ps, pl + l)
+                else:
+                    merged.append((s, l))
+            self._free_runs = merged
+        self._lock.release(core)
+
+    # ------------------------------------------------------------------
+    def _map(self, core: Core, buf: KBuffer,
+             direction: DmaDirection) -> tuple[DmaHandle, _Bounce]:
+        nslots = max(1, -(-buf.size // SWIOTLB_SLOT_BYTES))
+        slot = self._alloc_slots(core, nslots)
+        bounce_pa = self.pool_base + slot * SWIOTLB_SLOT_BYTES
+        if direction.device_reads:
+            core.charge(self.cost.memcpy_cycles(buf.size), CAT_MEMCPY)
+            pollution = self.cost.pollution_cycles(buf.size)
+            if pollution:
+                core.charge(pollution, CAT_OTHER)
+            self.machine.memory.copy(bounce_pa, buf.pa, buf.size)
+        handle = DmaHandle(iova=bounce_pa, size=buf.size,
+                           direction=direction)
+        return handle, _Bounce(slot_start=slot, nslots=nslots,
+                               bounce_pa=bounce_pa)
+
+    def _unmap(self, core: Core, buf: KBuffer, handle: DmaHandle,
+               cookie: _Bounce) -> None:
+        if handle.direction.device_writes:
+            core.charge(self.cost.memcpy_cycles(handle.size), CAT_MEMCPY)
+            pollution = self.cost.pollution_cycles(handle.size)
+            if pollution:
+                core.charge(pollution, CAT_OTHER)
+            self.machine.memory.copy(buf.pa, cookie.bounce_pa, handle.size)
+        self._free_slots(core, cookie.slot_start, cookie.nslots)
+
+    # ------------------------------------------------------------------
+    def dma_alloc_coherent(self, core: Core, size: int,
+                           node: int = 0) -> CoherentBuffer:
+        pages = max(1, page_align_up(size) >> PAGE_SHIFT)
+        order = max(0, (pages - 1).bit_length())
+        pa = self.allocators.buddies[node].alloc_pages(order, core)
+        kbuf = KBuffer(pa=pa, size=size, node=node)
+        self._coherent[pa] = node
+        self.stats.coherent_allocs += 1
+        return CoherentBuffer(kbuf=kbuf, iova=pa, size=size)
+
+    def dma_free_coherent(self, core: Core, buf: CoherentBuffer) -> None:
+        node = self._coherent.pop(buf.kbuf.pa, None)
+        if node is None:
+            raise DmaApiError(f"free of unknown coherent buffer "
+                              f"{buf.iova:#x}")
+        self.allocators.buddies[node].free_pages(buf.kbuf.pa, core)
+
+    def port(self) -> PassthroughDmaPort:
+        return self._port

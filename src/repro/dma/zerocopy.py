@@ -1,0 +1,299 @@
+"""Zero-copy IOMMU protection schemes: strict and deferred (§2.2.1).
+
+These are the baselines the paper compares against.  Both map the OS
+buffer's pages into the device's domain at ``dma_map`` and clear the
+page-table entries at ``dma_unmap``; they differ in *when the IOTLB is
+invalidated*:
+
+* **Strict** (`identity+`, `linux-strict`, …): synchronously on every
+  unmap, under the global invalidation-queue lock.  Secure at page
+  granularity, but the invalidation cost (and its lock) is the paper's
+  Figure 1/6/8 bottleneck.
+* **Deferred** (`identity-`, `linux-deferred`, …): invalidations are
+  batched — flushed only after ``deferred_batch_size`` (250) unmaps or a
+  10 ms timeout — so a window remains in which the device can reach
+  unmapped buffers through stale IOTLB entries.
+
+Both operate at page granularity, so data co-located with a DMA buffer on
+the same page is exposed for the mapping's lifetime (§4).  Page mappings
+are reference-counted, since sub-page buffers (or identity mappings of
+neighbouring buffers) can legitimately overlap on a page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dma.api import (
+    CoherentBuffer,
+    DmaApi,
+    DmaDirection,
+    DmaHandle,
+    SchemeProperties,
+)
+from repro.errors import DmaApiError
+from repro.hw.cpu import CAT_OTHER, Core
+from repro.hw.locks import NullLock, SpinLock
+from repro.hw.machine import Machine
+from repro.iommu.invalidation import PendingInvalidation
+from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
+from repro.iommu.page_table import Perm
+from repro.iova.base import IovaAllocator
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_up
+
+
+@dataclass
+class _PageRef:
+    refcount: int
+    perm: Perm
+
+
+@dataclass
+class _MapCookie:
+    """Unmap-time context recorded at map time."""
+
+    iova_base: int     # page-aligned base of the IOVA range
+    npages: int
+    pa_base: int       # page-aligned base of the physical range
+
+
+class ZeroCopyDmaApi(DmaApi):
+    """Shared machinery for the strict and deferred zero-copy schemes."""
+
+    def __init__(self, machine: Machine, iommu: Iommu, device_id: int,
+                 allocators: KernelAllocators, iova_allocator: IovaAllocator):
+        super().__init__()
+        self.machine = machine
+        self.cost = machine.cost
+        self.iommu = iommu
+        self.domain: Domain = iommu.attach_device(device_id)
+        self.allocators = allocators
+        self.iova_allocator = iova_allocator
+        self._port = TranslatingDmaPort(iommu, self.domain)
+        # iova_page -> refcount/perm for live page mappings.
+        self._page_refs: Dict[int, _PageRef] = {}
+        self._coherent: Dict[int, CoherentBuffer] = {}
+
+    # ------------------------------------------------------------------
+    def _map(self, core: Core, buf: KBuffer,
+             direction: DmaDirection) -> tuple[DmaHandle, _MapCookie]:
+        perm = direction.perm
+        pa_base = (buf.pa >> PAGE_SHIFT) << PAGE_SHIFT
+        offset = buf.pa - pa_base
+        npages = ((offset + buf.size - 1) >> PAGE_SHIFT) + 1
+        iova_base = self.iova_allocator.alloc(npages, core, pa_base)
+        for i in range(npages):
+            self._map_one_page(core, (iova_base >> PAGE_SHIFT) + i,
+                               (pa_base >> PAGE_SHIFT) + i, perm)
+        handle = DmaHandle(iova=iova_base + offset, size=buf.size,
+                           direction=direction)
+        cookie = _MapCookie(iova_base=iova_base, npages=npages,
+                            pa_base=pa_base)
+        return handle, cookie
+
+    def _map_one_page(self, core: Core, iova_page: int, pfn: int,
+                      perm: Perm) -> None:
+        ref = self._page_refs.get(iova_page)
+        if ref is None:
+            stale = self.iommu.iotlb.peek(self.domain.domain_id, iova_page)
+            if stale is not None and not (stale.pfn == pfn
+                                          and (stale.perm & perm) == perm):
+                # Deferred unmap left a stale cached translation for this
+                # IOVA page (possible under identity mapping, where IOVAs
+                # are reused immediately).  A stale entry for the same
+                # frame with covering rights translates correctly — that
+                # is deferred mode's gamble — but an *incompatible* one
+                # would misdirect or fault the new DMA, so it must be
+                # invalidated before the fresh mapping is installed.
+                self.iommu.invalidation_queue.invalidate_sync(
+                    core, self.domain.domain_id, iova_page, 1)
+            self.iommu.map_range(self.domain, iova_page << PAGE_SHIFT,
+                                 pfn << PAGE_SHIFT, PAGE_SIZE, perm, core)
+            self._page_refs[iova_page] = _PageRef(refcount=1, perm=perm)
+            return
+        # Overlapping mapping (e.g. two sub-page buffers under identity
+        # mapping).  Widen permissions if needed — which is itself part of
+        # the page-granularity security problem.
+        ref.refcount += 1
+        widened = ref.perm | perm
+        if widened != ref.perm:
+            self.domain.page_table.unmap_page(iova_page)
+            self.domain.page_table.map_page(iova_page, pfn, widened)
+            core.charge(self.cost.pt_map_cycles, CAT_OTHER)
+            # The stale (narrower) IOTLB entry must go so the device sees
+            # the widened rights.
+            self.iommu.invalidation_queue.invalidate_sync(
+                core, self.domain.domain_id, iova_page, 1)
+            ref.perm = widened
+
+    def _unmap_pages(self, core: Core, cookie: _MapCookie) -> List[int]:
+        """Drop page references; returns iova pages whose PTE was cleared."""
+        cleared: List[int] = []
+        first = cookie.iova_base >> PAGE_SHIFT
+        for i in range(cookie.npages):
+            page = first + i
+            ref = self._page_refs.get(page)
+            if ref is None:
+                raise DmaApiError(f"unmap of untracked IOVA page {page:#x}")
+            ref.refcount -= 1
+            if ref.refcount == 0:
+                del self._page_refs[page]
+                self.iommu.unmap_range(self.domain, page << PAGE_SHIFT,
+                                       PAGE_SIZE, core)
+                cleared.append(page)
+        return cleared
+
+    # ------------------------------------------------------------------
+    def dma_alloc_coherent(self, core: Core, size: int,
+                           node: int = 0) -> CoherentBuffer:
+        """Page-quantity allocation, permanently mapped RW (§2.2, §5.2)."""
+        pages = max(1, page_align_up(size) >> PAGE_SHIFT)
+        order = max(0, (pages - 1).bit_length())
+        pa = self.allocators.buddies[node].alloc_pages(order, core)
+        npages = 1 << order
+        iova = self.iova_allocator.alloc(npages, core, pa)
+        self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
+                             Perm.RW, core)
+        kbuf = KBuffer(pa=pa, size=size, node=node)
+        buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
+        self._coherent[iova] = buf
+        self.stats.coherent_allocs += 1
+        return buf
+
+    def dma_free_coherent(self, core: Core, buf: CoherentBuffer) -> None:
+        """Unmap with *strict* semantics — infrequent, not perf critical (§5.2)."""
+        if self._coherent.pop(buf.iova, None) is None:
+            raise DmaApiError(f"free of unknown coherent buffer {buf.iova:#x}")
+        pages = max(1, page_align_up(buf.size) >> PAGE_SHIFT)
+        order = max(0, (pages - 1).bit_length())
+        npages = 1 << order
+        self.iommu.unmap_range(self.domain, buf.iova, npages << PAGE_SHIFT,
+                               core)
+        self.iommu.invalidation_queue.invalidate_sync(
+            core, self.domain.domain_id, buf.iova >> PAGE_SHIFT, npages)
+        self.iova_allocator.free(buf.iova, npages, core)
+        self.allocators.buddies[buf.kbuf.node].free_pages(buf.kbuf.pa, core)
+
+    def port(self) -> TranslatingDmaPort:
+        return self._port
+
+
+class StrictZeroCopyDmaApi(ZeroCopyDmaApi):
+    """Strict protection: invalidate the IOTLB on every unmap."""
+
+    def __init__(self, machine: Machine, iommu: Iommu, device_id: int,
+                 allocators: KernelAllocators, iova_allocator: IovaAllocator,
+                 name: str = "strict", properties: SchemeProperties | None = None):
+        super().__init__(machine, iommu, device_id, allocators, iova_allocator)
+        self.name = name
+        self.properties = properties or SchemeProperties(
+            label=name, iommu_protection=True, sub_page=False,
+            no_window=True, single_core_perf=False, multi_core_perf=False,
+        )
+
+    def _unmap(self, core: Core, buf: KBuffer, handle: DmaHandle,
+               cookie: _MapCookie) -> None:
+        cleared = self._unmap_pages(core, cookie)
+        if cleared:
+            # One ranged invalidation per unmap call (contiguous range).
+            self.iommu.invalidation_queue.invalidate_sync(
+                core, self.domain.domain_id, cleared[0], len(cleared))
+        self.iova_allocator.free(cookie.iova_base, cookie.npages, core)
+
+
+class DeferredZeroCopyDmaApi(ZeroCopyDmaApi):
+    """Deferred protection: batch invalidations (250 unmaps / 10 ms).
+
+    ``per_core_batching=True`` models [42]'s scalable variant (identity−):
+    each core keeps its own pending list.  ``False`` models stock Linux's
+    single lock-protected global list (§2.2.1).
+    """
+
+    def __init__(self, machine: Machine, iommu: Iommu, device_id: int,
+                 allocators: KernelAllocators, iova_allocator: IovaAllocator,
+                 name: str = "deferred", per_core_batching: bool = True,
+                 properties: SchemeProperties | None = None):
+        super().__init__(machine, iommu, device_id, allocators, iova_allocator)
+        self.name = name
+        self.per_core_batching = per_core_batching
+        self.properties = properties or SchemeProperties(
+            label=name, iommu_protection=True, sub_page=False,
+            no_window=False, single_core_perf=True,
+            multi_core_perf=per_core_batching,
+        )
+        ncores = machine.num_cores
+        self._pending: List[List[PendingInvalidation]] = (
+            [[] for _ in range(ncores)] if per_core_batching else [[]]
+        )
+        self._pending_iova_frees: List[List[tuple[int, int]]] = (
+            [[] for _ in range(ncores)] if per_core_batching else [[]]
+        )
+        self._list_lock: SpinLock | NullLock = (
+            NullLock("flush-list") if per_core_batching
+            else SpinLock("flush-list", machine.cost)
+        )
+        #: Measured vulnerability-window durations (cycles between an
+        #: unmap and the flush that finally revoked its IOTLB entries).
+        #: The paper observes this window can reach 10 ms (§3); here it
+        #: is measured per unmap.  Bounded sample buffer.
+        self.window_samples: List[int] = []
+        self._max_window_samples = 100_000
+
+    def _slot(self, core: Core) -> int:
+        return core.cid if self.per_core_batching else 0
+
+    def _unmap(self, core: Core, buf: KBuffer, handle: DmaHandle,
+               cookie: _MapCookie) -> None:
+        cleared = self._unmap_pages(core, cookie)
+        slot = self._slot(core)
+        self._list_lock.acquire(core)
+        core.charge(self.cost.deferred_bookkeeping_cycles, CAT_OTHER)
+        pending = self._pending[slot]
+        if cleared:
+            pending.append(PendingInvalidation(
+                domain_id=self.domain.domain_id, iova_page=cleared[0],
+                npages=len(cleared), queued_at=core.now))
+        # IOVA deallocation is deferred too (§2.2.1): the range must not
+        # be reused while stale IOTLB entries can still reach it.
+        self._pending_iova_frees[slot].append((cookie.iova_base,
+                                               cookie.npages))
+        must_flush = (
+            len(pending) >= self.cost.deferred_batch_size
+            or (pending and core.now - pending[0].queued_at
+                >= self.cost.deferred_timeout_cycles)
+        )
+        self._list_lock.release(core)
+        if must_flush:
+            self._flush_slot(core, slot)
+
+    def _flush_slot(self, core: Core, slot: int) -> None:
+        self._list_lock.acquire(core)
+        pending = self._pending[slot]
+        frees = self._pending_iova_frees[slot]
+        self._pending[slot] = []
+        self._pending_iova_frees[slot] = []
+        self._list_lock.release(core)
+        self.iommu.invalidation_queue.flush_batch(core, pending)
+        if len(self.window_samples) < self._max_window_samples:
+            now = core.now
+            self.window_samples.extend(now - p.queued_at for p in pending)
+        for iova, npages in frees:
+            self.iova_allocator.free(iova, npages, core)
+
+    def flush_deferred(self, core: Core) -> None:
+        for slot in range(len(self._pending)):
+            if self._pending[slot] or self._pending_iova_frees[slot]:
+                self._flush_slot(core, slot)
+
+    # ------------------------------------------------------------------
+    # Introspection for the security audit.
+    # ------------------------------------------------------------------
+    @property
+    def pending_invalidations(self) -> int:
+        return sum(len(p) for p in self._pending)
+
+    def window_open(self) -> bool:
+        """Whether unmapped-but-reachable IOVAs currently exist."""
+        return self.pending_invalidations > 0

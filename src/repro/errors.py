@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing Python
+built-ins.  The sub-classes mirror the subsystems: hardware model, kernel
+allocators, IOMMU, DMA API, shadow pool, and the attack framework.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class AllocationError(ReproError):
+    """An allocator could not satisfy a request (out of memory / space)."""
+
+
+class KallocError(AllocationError):
+    """The kernel memory allocator (buddy / slab) failed."""
+
+
+class IovaExhaustedError(AllocationError):
+    """No IOVA range of the requested size is available."""
+
+
+class PoolExhaustedError(AllocationError):
+    """The shadow buffer pool hit its configured memory limit."""
+
+
+class MemoryAccessError(ReproError):
+    """A CPU-side access touched unallocated or out-of-range physical memory."""
+
+
+class IommuFault(ReproError):
+    """A DMA was blocked by the IOMMU (no mapping, or wrong permission).
+
+    Mirrors a VT-d translation fault: carries the faulting device, the
+    I/O virtual address, and whether the access was a read or a write.
+    """
+
+    def __init__(self, device_id: int, iova: int, *, is_write: bool,
+                 reason: str = "no mapping"):
+        self.device_id = device_id
+        self.iova = iova
+        self.is_write = is_write
+        self.reason = reason
+        kind = "write" if is_write else "read"
+        super().__init__(
+            f"IOMMU fault: device {device_id} {kind} at IOVA {iova:#x} ({reason})"
+        )
+
+
+class DmaApiError(ReproError):
+    """Misuse of the DMA API (double unmap, unknown handle, bad direction)."""
+
+
+class DmaApiUsageError(DmaApiError):
+    """A driver violated the DMA API contract (e.g. touching an owned buffer)."""
+
+
+class SecurityViolation(ReproError):
+    """An attack scenario succeeded where the protection scheme claims it must not.
+
+    Raised by the audit harness, not by regular operation: it means the
+    protection property under test was breached.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""

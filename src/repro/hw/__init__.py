@@ -1,0 +1,38 @@
+"""Hardware substrate: cores, NUMA machine, physical memory, locks."""
+
+from repro.hw.cpu import (
+    ALL_CATEGORIES,
+    CAT_COPY_MGMT,
+    CAT_COPY_USER,
+    CAT_INVALIDATE,
+    CAT_MEMCPY,
+    CAT_OTHER,
+    CAT_PT_MGMT,
+    CAT_RX_PARSE,
+    CAT_SPINLOCK,
+    Core,
+    merge_breakdowns,
+)
+from repro.hw.locks import NullLock, SharedResource, SpinLock
+from repro.hw.machine import Machine, NumaNode
+from repro.hw.memory import PhysicalMemory
+
+__all__ = [
+    "Core",
+    "Machine",
+    "NumaNode",
+    "PhysicalMemory",
+    "SpinLock",
+    "NullLock",
+    "SharedResource",
+    "merge_breakdowns",
+    "ALL_CATEGORIES",
+    "CAT_COPY_MGMT",
+    "CAT_SPINLOCK",
+    "CAT_INVALIDATE",
+    "CAT_PT_MGMT",
+    "CAT_MEMCPY",
+    "CAT_RX_PARSE",
+    "CAT_COPY_USER",
+    "CAT_OTHER",
+]

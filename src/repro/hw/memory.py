@@ -1,0 +1,140 @@
+"""Simulated physical memory with real byte backing.
+
+All DMA in the simulation moves *actual bytes* through this model: device
+writes land in page frames here, the shadow-pool copies read and write
+these frames, and the attack framework inspects them.  Frames are
+materialized lazily (a ``dict`` keyed by page-frame number), so a machine
+can expose many gigabytes of address space while only the touched pages
+cost host memory.
+
+Each NUMA node owns a disjoint physical address range (64 GiB apart), so
+the node of any physical address can be recovered arithmetically — the
+shadow pool uses this to keep copies NUMA-local (§5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import MemoryAccessError
+from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
+
+#: Physical address stride between NUMA node regions (64 GiB).
+NODE_REGION_SHIFT = 36
+NODE_REGION_BYTES = 1 << NODE_REGION_SHIFT
+
+
+class PhysicalMemory:
+    """Byte-addressable physical memory split into per-NUMA-node regions."""
+
+    def __init__(self, num_nodes: int, node_bytes: int = NODE_REGION_BYTES):
+        if num_nodes < 1:
+            raise MemoryAccessError("machine needs at least one NUMA node")
+        if node_bytes > NODE_REGION_BYTES:
+            raise MemoryAccessError(
+                f"node size {node_bytes:#x} exceeds region stride"
+            )
+        self.num_nodes = num_nodes
+        self.node_bytes = node_bytes
+        self._frames: Dict[int, bytearray] = {}
+
+    # ------------------------------------------------------------------
+    # Address-space geometry.
+    # ------------------------------------------------------------------
+    def node_base(self, node: int) -> int:
+        """First physical address belonging to NUMA ``node``."""
+        self._check_node(node)
+        return node << NODE_REGION_SHIFT
+
+    def node_region(self, node: int) -> tuple[int, int]:
+        """``(base, size)`` of the physical range owned by ``node``."""
+        return self.node_base(node), self.node_bytes
+
+    def node_of(self, pa: int) -> int:
+        """NUMA node that owns physical address ``pa``."""
+        node = pa >> NODE_REGION_SHIFT
+        if not 0 <= node < self.num_nodes or (pa - (node << NODE_REGION_SHIFT)) >= self.node_bytes:
+            raise MemoryAccessError(f"physical address {pa:#x} outside any node")
+        return node
+
+    def contains(self, pa: int, size: int = 1) -> bool:
+        """Whether ``[pa, pa+size)`` lies entirely inside one node's region."""
+        if size <= 0:
+            return False
+        try:
+            node = self.node_of(pa)
+        except MemoryAccessError:
+            return False
+        base = self.node_base(node)
+        return pa + size <= base + self.node_bytes
+
+    # ------------------------------------------------------------------
+    # Byte access.
+    # ------------------------------------------------------------------
+    def _frame(self, pfn: int) -> bytearray:
+        frame = self._frames.get(pfn)
+        if frame is None:
+            frame = bytearray(PAGE_SIZE)
+            self._frames[pfn] = frame
+        return frame
+
+    def write(self, pa: int, data: bytes) -> None:
+        """Write ``data`` starting at physical address ``pa``."""
+        if not data:
+            return
+        if not self.contains(pa, len(data)):
+            raise MemoryAccessError(
+                f"write of {len(data)} bytes at {pa:#x} leaves physical memory"
+            )
+        offset = 0
+        remaining = len(data)
+        view = memoryview(data)
+        while remaining:
+            pfn = (pa + offset) >> PAGE_SHIFT
+            in_page = (pa + offset) & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - in_page)
+            self._frame(pfn)[in_page:in_page + chunk] = view[offset:offset + chunk]
+            offset += chunk
+            remaining -= chunk
+
+    def read(self, pa: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at physical address ``pa``."""
+        if size == 0:
+            return b""
+        if not self.contains(pa, size):
+            raise MemoryAccessError(
+                f"read of {size} bytes at {pa:#x} leaves physical memory"
+            )
+        parts: List[bytes] = []
+        offset = 0
+        remaining = size
+        while remaining:
+            pfn = (pa + offset) >> PAGE_SHIFT
+            in_page = (pa + offset) & (PAGE_SIZE - 1)
+            chunk = min(remaining, PAGE_SIZE - in_page)
+            parts.append(bytes(self._frame(pfn)[in_page:in_page + chunk]))
+            offset += chunk
+            remaining -= chunk
+        return b"".join(parts)
+
+    def copy(self, dst_pa: int, src_pa: int, size: int) -> None:
+        """Copy ``size`` bytes between physical ranges (the memcpy engine)."""
+        if size == 0:
+            return
+        self.write(dst_pa, self.read(src_pa, size))
+
+    def fill(self, pa: int, size: int, value: int = 0) -> None:
+        """Fill ``[pa, pa+size)`` with ``value``."""
+        self.write(pa, bytes([value]) * size)
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        """Number of frames actually materialized (touched) so far."""
+        return len(self._frames)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise MemoryAccessError(f"no such NUMA node: {node}")

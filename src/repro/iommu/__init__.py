@@ -1,0 +1,29 @@
+"""IOMMU substrate: page tables, IOTLB, invalidation queue, DMA ports."""
+
+from repro.iommu.invalidation import InvalidationQueue, PendingInvalidation
+from repro.iommu.iommu import (
+    DmaPort,
+    Domain,
+    FaultRecord,
+    Iommu,
+    PassthroughDmaPort,
+    TranslatingDmaPort,
+)
+from repro.iommu.iotlb import Iotlb, IotlbStats
+from repro.iommu.page_table import IoPageTable, Perm, PteEntry
+
+__all__ = [
+    "Iommu",
+    "Domain",
+    "DmaPort",
+    "TranslatingDmaPort",
+    "PassthroughDmaPort",
+    "FaultRecord",
+    "Iotlb",
+    "IotlbStats",
+    "InvalidationQueue",
+    "PendingInvalidation",
+    "IoPageTable",
+    "Perm",
+    "PteEntry",
+]

@@ -1,0 +1,207 @@
+"""The IOMMU device model: domains, mapping, and device-side translation.
+
+Every device attached to the IOMMU gets a *domain* — its private I/O page
+table.  The OS side maps/unmaps IOVA ranges into the domain; the device
+side issues DMAs through a :class:`DmaPort`, which translates each touched
+page through the IOTLB (falling back to a page-table walk) and enforces
+permissions.  Blocked DMAs raise :class:`~repro.errors.IommuFault` and are
+recorded for the security audit.
+
+Crucially, *unmap does not invalidate the IOTLB* — that is the caller's
+(the DMA API strategy's) decision, which is the entire strict-vs-deferred
+trade-off the paper is about.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Protocol
+
+from repro.errors import ConfigurationError, IommuFault
+from repro.hw.cpu import CAT_PT_MGMT, Core
+from repro.hw.locks import NullLock, SpinLock
+from repro.hw.machine import Machine
+from repro.iommu.invalidation import InvalidationQueue
+from repro.iommu.iotlb import Iotlb
+from repro.iommu.page_table import IoPageTable, Perm, PteEntry
+from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One blocked DMA, as the OS would see it in the fault log."""
+
+    device_id: int
+    iova: int
+    is_write: bool
+    reason: str
+
+
+@dataclass
+class Domain:
+    """A protection domain: one device's I/O address space."""
+
+    domain_id: int
+    device_id: int
+    page_table: IoPageTable = field(default_factory=IoPageTable)
+
+
+class Iommu:
+    """The platform IOMMU: shared IOTLB + invalidation queue, per-device
+    domains."""
+
+    def __init__(self, machine: Machine, iotlb_capacity: int = 4096,
+                 concurrent_invalidation_lock: bool = True):
+        self.machine = machine
+        self.cost = machine.cost
+        self.iotlb = Iotlb(capacity=iotlb_capacity)
+        lock = (SpinLock("qi-lock", machine.cost)
+                if concurrent_invalidation_lock else NullLock("qi-lock"))
+        self.invalidation_queue = InvalidationQueue(self.iotlb, machine.cost,
+                                                    lock)
+        self.domains: Dict[int, Domain] = {}
+        self.faults: List[FaultRecord] = []
+        self._domain_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # OS side.
+    # ------------------------------------------------------------------
+    def attach_device(self, device_id: int) -> Domain:
+        """Create (or return) the protection domain for ``device_id``."""
+        for domain in self.domains.values():
+            if domain.device_id == device_id:
+                return domain
+        domain = Domain(domain_id=next(self._domain_ids), device_id=device_id)
+        self.domains[domain.domain_id] = domain
+        return domain
+
+    def map_range(self, domain: Domain, iova: int, pa: int, size: int,
+                  perm: Perm, core: Core | None = None) -> None:
+        """Map ``size`` bytes of physically-contiguous memory at ``iova``.
+
+        ``iova`` and ``pa`` must share their page offset (the mapping is
+        page-granular; sub-page offsets pass through unchanged).
+        """
+        if size <= 0:
+            raise ConfigurationError("mapping of non-positive size")
+        if (iova & (PAGE_SIZE - 1)) != (pa & (PAGE_SIZE - 1)):
+            raise ConfigurationError(
+                f"IOVA {iova:#x} and PA {pa:#x} offsets disagree"
+            )
+        first_iova_page = iova >> PAGE_SHIFT
+        first_pfn = pa >> PAGE_SHIFT
+        npages = ((iova + size - 1) >> PAGE_SHIFT) - first_iova_page + 1
+        for i in range(npages):
+            domain.page_table.map_page(first_iova_page + i, first_pfn + i, perm)
+        if core is not None:
+            core.charge(self.cost.pt_map_cycles * npages, CAT_PT_MGMT)
+
+    def unmap_range(self, domain: Domain, iova: int, size: int,
+                    core: Core | None = None) -> int:
+        """Remove the translations covering ``[iova, iova+size)``.
+
+        Returns the number of pages unmapped.  Does **not** touch the
+        IOTLB — strict callers must invalidate synchronously, deferred
+        callers queue the range (§2.2.1).
+        """
+        first_page = iova >> PAGE_SHIFT
+        npages = ((iova + size - 1) >> PAGE_SHIFT) - first_page + 1
+        for i in range(npages):
+            domain.page_table.unmap_page(first_page + i)
+        if core is not None:
+            core.charge(self.cost.pt_unmap_cycles * npages, CAT_PT_MGMT)
+        return npages
+
+    # ------------------------------------------------------------------
+    # Device side.
+    # ------------------------------------------------------------------
+    def translate(self, domain: Domain, iova: int, *,
+                  is_write: bool) -> PteEntry:
+        """Translate one access through the IOTLB (device's view).
+
+        An IOTLB hit uses the cached entry even if the page table has
+        since changed — stale entries are precisely the deferred window.
+        """
+        iova_page = iova >> PAGE_SHIFT
+        entry = self.iotlb.lookup(domain.domain_id, iova_page)
+        if entry is None:
+            entry = domain.page_table.lookup(iova_page)
+            if entry is None:
+                self._fault(domain, iova, is_write, "no mapping")
+            self.iotlb.insert(domain.domain_id, iova_page, entry)
+        if not entry.perm.allows(is_write=is_write):
+            self._fault(domain, iova, is_write,
+                        f"permission ({entry.perm.name})")
+        return entry
+
+    def _fault(self, domain: Domain, iova: int, is_write: bool,
+               reason: str) -> None:
+        record = FaultRecord(device_id=domain.device_id, iova=iova,
+                             is_write=is_write, reason=reason)
+        self.faults.append(record)
+        raise IommuFault(domain.device_id, iova, is_write=is_write,
+                         reason=reason)
+
+
+class DmaPort(Protocol):
+    """What a device holds: the ability to issue DMAs at bus addresses."""
+
+    def dma_read(self, iova: int, size: int) -> bytes:
+        """DMA from host memory to the device."""
+        ...
+
+    def dma_write(self, iova: int, data: bytes) -> None:
+        """DMA from the device into host memory."""
+        ...
+
+
+class TranslatingDmaPort:
+    """A device's bus connection when the IOMMU is enabled."""
+
+    def __init__(self, iommu: Iommu, domain: Domain):
+        self.iommu = iommu
+        self.domain = domain
+
+    def dma_read(self, iova: int, size: int) -> bytes:
+        parts: List[bytes] = []
+        for chunk_iova, chunk_size in _page_chunks(iova, size):
+            entry = self.iommu.translate(self.domain, chunk_iova,
+                                         is_write=False)
+            pa = entry.pa | (chunk_iova & (PAGE_SIZE - 1))
+            parts.append(self.iommu.machine.memory.read(pa, chunk_size))
+        return b"".join(parts)
+
+    def dma_write(self, iova: int, data: bytes) -> None:
+        offset = 0
+        for chunk_iova, chunk_size in _page_chunks(iova, len(data)):
+            entry = self.iommu.translate(self.domain, chunk_iova,
+                                         is_write=True)
+            pa = entry.pa | (chunk_iova & (PAGE_SIZE - 1))
+            self.iommu.machine.memory.write(pa, data[offset:offset + chunk_size])
+            offset += chunk_size
+
+
+class PassthroughDmaPort:
+    """A device's bus connection with the IOMMU disabled: bus address ==
+    physical address, no checks — the defenseless ``no iommu`` baseline."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def dma_read(self, iova: int, size: int) -> bytes:
+        return self.machine.memory.read(iova, size)
+
+    def dma_write(self, iova: int, data: bytes) -> None:
+        self.machine.memory.write(iova, data)
+
+
+def _page_chunks(addr: int, size: int):
+    """Split ``[addr, addr+size)`` at page boundaries."""
+    offset = 0
+    while offset < size:
+        current = addr + offset
+        in_page = current & (PAGE_SIZE - 1)
+        chunk = min(size - offset, PAGE_SIZE - in_page)
+        yield current, chunk
+        offset += chunk

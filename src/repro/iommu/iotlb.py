@@ -1,0 +1,105 @@
+"""IOTLB — the IOMMU's translation cache.
+
+The IOTLB is what makes deferred protection insecure: removing a page-table
+entry does *not* revoke device access until the corresponding IOTLB entry
+is invalidated.  This model is fully functional — translations inserted on
+page-table walks stay visible to devices until an explicit invalidation —
+so the paper's vulnerability window exists in the simulation and the
+attack scenarios can exploit it.
+
+Entries are kept per (domain, IOVA page) with LRU eviction at a bounded
+capacity, like the real structure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.iommu.page_table import PteEntry
+
+
+@dataclass
+class IotlbStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    global_invalidations: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class Iotlb:
+    """LRU cache of (domain_id, iova_page) → :class:`PteEntry`."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("IOTLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], PteEntry]" = OrderedDict()
+        self.stats = IotlbStats()
+
+    def lookup(self, domain_id: int, iova_page: int) -> PteEntry | None:
+        key = (domain_id, iova_page)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def insert(self, domain_id: int, iova_page: int, entry: PteEntry) -> None:
+        key = (domain_id, iova_page)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def contains(self, domain_id: int, iova_page: int) -> bool:
+        """Non-perturbing membership test (no LRU update, no stats)."""
+        return (domain_id, iova_page) in self._entries
+
+    def peek(self, domain_id: int, iova_page: int) -> PteEntry | None:
+        """Non-perturbing read of a cached entry (no LRU update/stats)."""
+        return self._entries.get((domain_id, iova_page))
+
+    # ------------------------------------------------------------------
+    # Invalidation — the operations the paper's whole cost story is about.
+    # ------------------------------------------------------------------
+    def invalidate_pages(self, domain_id: int, iova_page: int,
+                         npages: int = 1) -> int:
+        """Drop entries for ``npages`` starting at ``iova_page``.
+
+        Returns how many cached entries were actually removed.
+        """
+        removed = 0
+        for page in range(iova_page, iova_page + npages):
+            if self._entries.pop((domain_id, page), None) is not None:
+                removed += 1
+        self.stats.invalidations += 1
+        return removed
+
+    def invalidate_domain(self, domain_id: int) -> int:
+        """Drop every entry belonging to ``domain_id``."""
+        keys = [k for k in self._entries if k[0] == domain_id]
+        for key in keys:
+            del self._entries[key]
+        self.stats.invalidations += 1
+        return len(keys)
+
+    def invalidate_all(self) -> int:
+        """Global invalidation: drop everything."""
+        count = len(self._entries)
+        self._entries.clear()
+        self.stats.global_invalidations += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,17 @@
+"""IOVA allocators: identity, Linux rbtree, EiovaR cache, per-core magazines."""
+
+from repro.iova.allocators import (
+    EiovaRAllocator,
+    IdentityIovaAllocator,
+    LinuxIovaAllocator,
+    MagazineIovaAllocator,
+)
+from repro.iova.base import IovaAllocator
+
+__all__ = [
+    "IovaAllocator",
+    "IdentityIovaAllocator",
+    "LinuxIovaAllocator",
+    "EiovaRAllocator",
+    "MagazineIovaAllocator",
+]

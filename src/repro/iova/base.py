@@ -1,0 +1,38 @@
+"""Common interface for IOVA allocators.
+
+The zero-copy protection schemes need an I/O virtual address range for
+every ``dma_map``.  How that range is found is one of the two performance
+stories of prior work (the other being IOTLB invalidation): Linux's
+red-black-tree allocator with its global lock [Fig. 1], EiovaR's cached
+ranges [38], and Peleg et al.'s per-core magazines [42].  All are modeled
+here behind one interface so DMA strategies can be composed with any of
+them.
+
+Allocation is in whole pages; allocators return the *page-aligned base*
+of the range and callers add the sub-page offset of the buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.hw.cpu import Core
+
+
+class IovaAllocator(Protocol):
+    """Allocate/free page-granular IOVA ranges for one device domain."""
+
+    #: Human-readable allocator name (used in reports and Table 1).
+    name: str
+
+    def alloc(self, npages: int, core: Core, pa: int) -> int:
+        """Return the base IOVA (page aligned) of a fresh ``npages`` range.
+
+        ``pa`` is the physical address being mapped — identity allocators
+        derive the IOVA from it; the others ignore it.
+        """
+        ...
+
+    def free(self, iova: int, npages: int, core: Core) -> None:
+        """Release a range previously returned by :meth:`alloc`."""
+        ...

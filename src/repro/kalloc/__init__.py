@@ -1,0 +1,12 @@
+"""Kernel memory allocation substrate: buddy pages + slab kmalloc."""
+
+from repro.kalloc.buddy import BuddyAllocator
+from repro.kalloc.slab import SLAB_SIZE_CLASSES, KBuffer, KernelAllocators, SlabAllocator
+
+__all__ = [
+    "BuddyAllocator",
+    "SlabAllocator",
+    "KernelAllocators",
+    "KBuffer",
+    "SLAB_SIZE_CLASSES",
+]

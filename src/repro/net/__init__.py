@@ -1,0 +1,39 @@
+"""Networking substrate: frames, descriptor rings, NIC model, driver."""
+
+from repro.net.driver import DriverStats, NicDriver
+from repro.net.nic import Nic, NicStats
+from repro.net.packets import (
+    HEADERS_LEN,
+    ParsedFrame,
+    build_frame,
+    max_payload,
+    parse_frame,
+    segment_payload,
+)
+from repro.net.ring import (
+    DESC_SIZE,
+    FLAG_DONE,
+    FLAG_EOP,
+    FLAG_READY,
+    Descriptor,
+    DescriptorRing,
+)
+
+__all__ = [
+    "Nic",
+    "NicStats",
+    "NicDriver",
+    "DriverStats",
+    "DescriptorRing",
+    "Descriptor",
+    "DESC_SIZE",
+    "FLAG_READY",
+    "FLAG_DONE",
+    "FLAG_EOP",
+    "build_frame",
+    "parse_frame",
+    "ParsedFrame",
+    "segment_payload",
+    "max_payload",
+    "HEADERS_LEN",
+]

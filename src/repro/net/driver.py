@@ -1,0 +1,250 @@
+"""NIC device driver — the OS side of the datapath.
+
+The driver is the DMA API's client, and the place where the paper's
+per-packet costs are incurred:
+
+* **RX**: post page-sized MTU buffers (allocated fresh, ``dma_map``ed
+  ``FROM_DEVICE``); on completion ``dma_unmap`` (where zero-copy schemes
+  pay page-table + invalidation costs and the copy scheme pays the
+  copy-back), hand the buffer to the stack, free it, and refill the ring.
+* **TX**: ``dma_map`` the (up to 64 KB, TSO) chunk ``TO_DEVICE``, post a
+  descriptor, let the NIC transmit, then ``dma_unmap`` on completion.
+
+The driver is scheme-agnostic — it sees only the abstract
+:class:`~repro.dma.api.DmaApi` (transparency, §5.1).  If the scheme is
+DMA shadowing it registers the paper's IP-length copying hint (§5.4),
+which a driver is allowed to do but never required to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.hints import ip_length_hint
+from repro.core.shadow_dma import ShadowDmaApi
+from repro.dma.api import DmaApi, DmaDirection, DmaHandle
+from repro.errors import SimulationError
+from repro.hw.cpu import CAT_OTHER, CAT_RX_PARSE, Core
+from repro.hw.machine import Machine
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.net.nic import Nic
+from repro.net.packets import parse_frame
+from repro.net.ring import FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
+from repro.sim.units import PAGE_SIZE
+
+
+@dataclass
+class _RxSlot:
+    buf: KBuffer
+    handle: DmaHandle
+
+
+@dataclass
+class _TxSlot:
+    buf: KBuffer
+    handle: DmaHandle
+    free_buffer: bool
+    #: For scatter-gather sends: the whole-chunk allocation to free once
+    #: this (final) element completes.
+    parent: Optional[KBuffer] = None
+
+
+@dataclass
+class DriverStats:
+    rx_packets: int = 0
+    rx_bytes: int = 0
+    tx_chunks: int = 0
+    tx_bytes: int = 0
+
+
+class NicDriver:
+    """Driver for :class:`~repro.net.nic.Nic` over any protection scheme."""
+
+    def __init__(self, machine: Machine, allocators: KernelAllocators,
+                 dma_api: DmaApi, nic: Nic,
+                 rx_ring_size: int = 512, tx_ring_size: int = 512,
+                 rx_buf_size: int = 2048,
+                 use_copy_hints: bool = True):
+        self.machine = machine
+        self.cost = machine.cost
+        self.allocators = allocators
+        self.dma_api = dma_api
+        self.nic = nic
+        self.rx_ring_size = rx_ring_size
+        self.tx_ring_size = tx_ring_size
+        #: Size of one posted RX buffer.  Allocated in whole pages so each
+        #: buffer owns its page(s), like high-performance NIC drivers do —
+        #: see DESIGN.md (the sub-page co-location scenario is exercised
+        #: by the attack framework's driver instead).  The default fits an
+        #: MTU frame; latency (LRO) configurations use larger buffers.
+        self.rx_buf_size = rx_buf_size
+        self._rx_buf_order = max(0, ((rx_buf_size + PAGE_SIZE - 1)
+                                     // PAGE_SIZE - 1).bit_length())
+        self.stats = DriverStats()
+        self._rx_rings: Dict[int, DescriptorRing] = {}
+        self._tx_rings: Dict[int, DescriptorRing] = {}
+        self._rx_slots: Dict[int, Dict[int, _RxSlot]] = {}
+        self._tx_slots: Dict[int, Dict[int, _TxSlot]] = {}
+        if use_copy_hints and isinstance(dma_api, ShadowDmaApi):
+            dma_api.register_copy_hint(DmaDirection.FROM_DEVICE,
+                                       ip_length_hint)
+
+    # ------------------------------------------------------------------
+    # Setup / teardown.
+    # ------------------------------------------------------------------
+    def setup_queue(self, core: Core, qid: int) -> None:
+        """Allocate this queue's rings and fill the RX ring with buffers."""
+        node = core.numa_node
+        rx = DescriptorRing(self.machine, self.dma_api, core,
+                            self.rx_ring_size, name=f"rx{qid}", node=node)
+        tx = DescriptorRing(self.machine, self.dma_api, core,
+                            self.tx_ring_size, name=f"tx{qid}", node=node)
+        self._rx_rings[qid] = rx
+        self._tx_rings[qid] = tx
+        self._rx_slots[qid] = {}
+        self._tx_slots[qid] = {}
+        self.nic.attach_rings(qid, rx, tx)
+        for _ in range(self.rx_ring_size - 1):
+            self._post_rx_buffer(core, qid)
+
+    def teardown_queue(self, core: Core, qid: int) -> None:
+        """Unmap and free everything the queue still holds."""
+        for slot in self._rx_slots[qid].values():
+            self.dma_api.dma_unmap(core, slot.handle)
+            self.allocators.buddies[slot.buf.node].free_pages(
+                slot.buf.pa, core)
+        self._rx_slots[qid].clear()
+        self.reap_tx(core, qid)
+        if self._tx_slots[qid]:
+            raise SimulationError("teardown with un-reaped TX slots")
+        self._rx_rings.pop(qid).free(core)
+        self._tx_rings.pop(qid).free(core)
+
+    # ------------------------------------------------------------------
+    # RX path.
+    # ------------------------------------------------------------------
+    def _post_rx_buffer(self, core: Core, qid: int) -> None:
+        node = core.numa_node
+        pa = self.allocators.buddies[node].alloc_pages(self._rx_buf_order,
+                                                       core)
+        buf = KBuffer(pa=pa, size=self.rx_buf_size, node=node)
+        handle = self.dma_api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+        ring = self._rx_rings[qid]
+        index = ring.post(Descriptor(addr=handle.iova,
+                                     length=self.rx_buf_size,
+                                     flags=FLAG_READY))
+        self._rx_slots[qid][index] = _RxSlot(buf=buf, handle=handle)
+        core.charge(self.cost.rx_refill_cycles, CAT_OTHER)
+
+    def receive_one(self, core: Core, qid: int, frame: bytes) -> Optional[int]:
+        """Deliver ``frame`` from the wire and run full RX processing.
+
+        Returns the TCP payload length (``None`` if the NIC dropped the
+        frame).  Covers: device DMA, ``dma_unmap`` (the protection cost),
+        header parsing, and ring refill.  Stack/socket costs above the
+        driver are charged by the workload layer.
+        """
+        if not self.nic.receive_frame(qid, frame):
+            return None
+        reaped = self._rx_rings[qid].reap()
+        if reaped is None:
+            raise SimulationError("NIC signalled RX but ring has no completion")
+        index, desc = reaped
+        slot = self._rx_slots[qid].pop(index)
+        # Unmap first — after this the OS owns the buffer (§2.2).  For
+        # the copy scheme this is where the shadow→OS copy happens.
+        self.dma_api.dma_unmap(core, slot.handle)
+        core.charge(self.cost.rx_parse_cycles, CAT_RX_PARSE)
+        parsed = parse_frame(self.machine.memory.read(slot.buf.pa,
+                                                      desc.length))
+        self.stats.rx_packets += 1
+        self.stats.rx_bytes += desc.length
+        self.allocators.buddies[slot.buf.node].free_pages(slot.buf.pa, core)
+        self._post_rx_buffer(core, qid)
+        return parsed.payload_len
+
+    # ------------------------------------------------------------------
+    # TX path.
+    # ------------------------------------------------------------------
+    def send_chunk(self, core: Core, qid: int, buf: KBuffer,
+                   free_buffer: bool = True) -> None:
+        """Map and post one (TSO-sized) chunk as a single descriptor."""
+        handle = self.dma_api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+        ring = self._tx_rings[qid]
+        index = ring.post(Descriptor(addr=handle.iova, length=buf.size,
+                                     flags=FLAG_READY | FLAG_EOP))
+        self._tx_slots[qid][index] = _TxSlot(buf=buf, handle=handle,
+                                             free_buffer=free_buffer)
+        core.charge(self.cost.tx_desc_cycles, CAT_OTHER)
+        self.stats.tx_chunks += 1
+        self.stats.tx_bytes += buf.size
+
+    def send_chunk_sg(self, core: Core, qid: int, buf: KBuffer,
+                      free_buffer: bool = True) -> int:
+        """Map and post one chunk as page-sized scatter-gather elements.
+
+        Models an skb whose payload lives in page frags: each element is
+        ``dma_map_sg``-ed separately (§2.2 footnote — SG works
+        analogously), so zero-copy schemes pay per-page costs and the
+        copy scheme performs per-element copies.  Returns the element
+        count.
+        """
+        elements: list[KBuffer] = []
+        offset = 0
+        while offset < buf.size:
+            chunk = min(PAGE_SIZE - ((buf.pa + offset) & (PAGE_SIZE - 1)),
+                        buf.size - offset)
+            elements.append(KBuffer(pa=buf.pa + offset, size=chunk,
+                                    node=buf.node))
+            offset += chunk
+        handles = self.dma_api.dma_map_sg(core, elements,
+                                          DmaDirection.TO_DEVICE)
+        ring = self._tx_rings[qid]
+        last = len(handles) - 1
+        for i, (element, handle) in enumerate(zip(elements, handles)):
+            flags = FLAG_READY | (FLAG_EOP if i == last else 0)
+            index = ring.post(Descriptor(addr=handle.iova,
+                                         length=element.size, flags=flags))
+            self._tx_slots[qid][index] = _TxSlot(
+                buf=element, handle=handle, free_buffer=False,
+                parent=buf if (free_buffer and i == last) else None)
+            core.charge(self.cost.tx_desc_cycles, CAT_OTHER)
+        self.stats.tx_chunks += 1
+        self.stats.tx_bytes += buf.size
+        return len(handles)
+
+    def reap_tx(self, core: Core, qid: int) -> int:
+        """Process TX completions: unmap and free transmitted chunks."""
+        ring = self._tx_rings[qid]
+        reaped = 0
+        while True:
+            item = ring.reap()
+            if item is None:
+                break
+            index, _ = item
+            slot = self._tx_slots[qid].pop(index)
+            self.dma_api.dma_unmap(core, slot.handle)
+            core.charge(self.cost.tx_complete_cycles, CAT_OTHER)
+            if slot.free_buffer:
+                self.allocators.slabs[slot.buf.node].kfree(slot.buf, core)
+            if slot.parent is not None:
+                self.allocators.slabs[slot.parent.node].kfree(slot.parent,
+                                                              core)
+            reaped += 1
+        return reaped
+
+    def transmit_one(self, core: Core, qid: int, chunk_bytes: int,
+                     payload: bytes | None = None) -> int:
+        """Full TX cycle for one chunk: allocate, fill, send, reap.
+
+        Returns the number of wire segments the NIC emitted.
+        """
+        node = core.numa_node
+        buf = self.allocators.slabs[node].kmalloc(chunk_bytes, core)
+        if payload is not None:
+            self.machine.memory.write(buf.pa, payload[:chunk_bytes])
+        self.send_chunk(core, qid, buf)
+        segments = self.nic.transmit_pending(qid)
+        self.reap_tx(core, qid)
+        return segments

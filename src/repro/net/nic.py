@@ -1,0 +1,160 @@
+"""40 Gb/s NIC device model.
+
+Models the evaluated machine's Intel Fortville XL710 at the level the
+paper cares about: multi-queue RX/TX descriptor rings, MTU-sized receive
+buffers, and TSO on transmit (the driver hands the NIC up to 64 KB, the
+NIC segments to MTU on the wire — §6 "Single-core TCP throughput").
+
+The NIC is *hardware*: every byte it touches — descriptors and payloads —
+moves through its :class:`~repro.iommu.iommu.DmaPort`, i.e. through the
+IOMMU when one is configured.  It is also the component the attack
+framework subclasses to become malicious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.iommu.iommu import DmaPort
+from repro.net.ring import FLAG_DONE, FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
+from repro.sim.units import ETH_MTU, TSO_MAX_BYTES
+
+
+@dataclass
+class NicStats:
+    rx_frames: int = 0
+    rx_bytes: int = 0
+    rx_drops_no_descriptor: int = 0
+    rx_drops_too_big: int = 0
+    tx_frames: int = 0
+    tx_bytes: int = 0
+    tx_wire_segments: int = 0
+
+
+@dataclass
+class _QueueState:
+    rx_ring: Optional[DescriptorRing] = None
+    tx_ring: Optional[DescriptorRing] = None
+    rx_next: int = 0  # device-side RX consume cursor
+    tx_next: int = 0  # device-side TX consume cursor
+    #: Payloads kept for inspection when ``keep_frames`` is on.
+    tx_log: List[bytes] = field(default_factory=list)
+
+
+class Nic:
+    """The device side of the network interface."""
+
+    def __init__(self, device_id: int, port: DmaPort, num_queues: int = 1,
+                 mtu: int = ETH_MTU, tso: bool = True,
+                 keep_frames: bool = False):
+        if num_queues < 1:
+            raise SimulationError("NIC needs at least one queue")
+        self.device_id = device_id
+        self.port = port
+        self.num_queues = num_queues
+        self.mtu = mtu
+        self.tso = tso
+        self.keep_frames = keep_frames
+        self.stats = NicStats()
+        self._queues: Dict[int, _QueueState] = {
+            q: _QueueState() for q in range(num_queues)
+        }
+
+    def attach_rings(self, qid: int, rx_ring: DescriptorRing,
+                     tx_ring: DescriptorRing) -> None:
+        state = self._queue(qid)
+        state.rx_ring = rx_ring
+        state.tx_ring = tx_ring
+
+    def _queue(self, qid: int) -> _QueueState:
+        try:
+            return self._queues[qid]
+        except KeyError:
+            raise SimulationError(f"NIC has no queue {qid}") from None
+
+    # ------------------------------------------------------------------
+    # Receive path (wire → host memory).
+    # ------------------------------------------------------------------
+    def receive_frame(self, qid: int, frame: bytes) -> bool:
+        """A frame arrives from the wire; DMA it into the next RX buffer.
+
+        Returns ``False`` (and counts a drop) when no armed descriptor is
+        available or the buffer is too small — real NIC behaviour, and
+        also what a protection fault turns into from the wire's viewpoint.
+        """
+        state = self._queue(qid)
+        ring = state.rx_ring
+        if ring is None:
+            raise SimulationError(f"queue {qid} has no RX ring")
+        if state.rx_next >= ring.tail:
+            self.stats.rx_drops_no_descriptor += 1
+            return False
+        desc = ring.device_read(self.port, state.rx_next)
+        if not desc.ready:
+            self.stats.rx_drops_no_descriptor += 1
+            return False
+        if len(frame) > desc.length:
+            self.stats.rx_drops_too_big += 1
+            return False
+        self.port.dma_write(desc.addr, frame)
+        ring.device_write_back(self.port, state.rx_next, Descriptor(
+            addr=desc.addr, length=len(frame),
+            flags=FLAG_DONE | FLAG_EOP))
+        state.rx_next += 1
+        self.stats.rx_frames += 1
+        self.stats.rx_bytes += len(frame)
+        return True
+
+    # ------------------------------------------------------------------
+    # Transmit path (host memory → wire).
+    # ------------------------------------------------------------------
+    def transmit_pending(self, qid: int) -> int:
+        """Consume armed TX descriptors; returns wire segments emitted.
+
+        With TSO a descriptor may describe up to 64 KB; the NIC reads the
+        payload by DMA and segments it into MTU frames internally.
+        """
+        state = self._queue(qid)
+        ring = state.tx_ring
+        if ring is None:
+            raise SimulationError(f"queue {qid} has no TX ring")
+        segments = 0
+        limit = TSO_MAX_BYTES if self.tso else self.mtu
+        gather: List[bytes] = []   # scatter-gather elements of one packet
+        gathered_bytes = 0
+        while state.tx_next < ring.tail:
+            desc = ring.device_read(self.port, state.tx_next)
+            if not desc.ready:
+                break
+            if gathered_bytes + desc.length > limit:
+                raise SimulationError(
+                    f"TX packet of {gathered_bytes + desc.length} B "
+                    f"exceeds NIC limit"
+                )
+            gather.append(self.port.dma_read(desc.addr, desc.length))
+            gathered_bytes += desc.length
+            ring.device_write_back(self.port, state.tx_next, Descriptor(
+                addr=desc.addr, length=desc.length,
+                flags=desc.flags | FLAG_DONE))
+            state.tx_next += 1
+            if not desc.flags & FLAG_EOP:
+                continue  # more scatter-gather elements follow
+            payload = b"".join(gather) if len(gather) > 1 else gather[0]
+            gather = []
+            gathered_bytes = 0
+            if self.keep_frames:
+                state.tx_log.append(payload)
+            nsegs = max(1, -(-len(payload) // self.mtu))
+            segments += nsegs
+            self.stats.tx_frames += 1
+            self.stats.tx_bytes += len(payload)
+            self.stats.tx_wire_segments += nsegs
+        if gather:
+            raise SimulationError("TX ring ended mid scatter-gather packet")
+        return segments
+
+    def tx_log(self, qid: int) -> List[bytes]:
+        """Transmitted payloads (only populated with ``keep_frames``)."""
+        return self._queue(qid).tx_log

@@ -1,0 +1,100 @@
+"""Ethernet/IPv4/TCP frame construction and parsing.
+
+The simulation moves real frames: the NIC model DMA-writes these bytes
+into RX buffers, the shadow pool copies them, and the §5.4 copy hint
+parses the IPv4 total-length field out of them.  Only the fields the
+system actually consumes are populated; payload bytes default to zeros
+(cheap to build, and content is checked by tests that care).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.sim.units import ETH_MTU, TCP_MSS
+
+ETH_HEADER_LEN = 14
+IP_HEADER_LEN = 20
+TCP_HEADER_LEN = 20
+HEADERS_LEN = ETH_HEADER_LEN + IP_HEADER_LEN + TCP_HEADER_LEN
+
+_ETH_FMT = "!6s6sH"
+_IP_FMT = "!BBHHHBBH4s4s"
+_TCP_FMT = "!HHIIBBHHH"
+
+ETHERTYPE_IPV4 = 0x0800
+
+
+@dataclass(frozen=True)
+class ParsedFrame:
+    """The header fields the receive path looks at."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    payload_len: int
+    ip_total_len: int
+
+    @property
+    def frame_len(self) -> int:
+        return ETH_HEADER_LEN + self.ip_total_len
+
+
+def max_payload(mtu: int = ETH_MTU) -> int:
+    """TCP payload capacity of one frame at ``mtu`` (the MSS)."""
+    return mtu - IP_HEADER_LEN - TCP_HEADER_LEN
+
+
+def build_frame(payload_len: int, *, src_port: int = 40000,
+                dst_port: int = 12865, seq: int = 0,
+                payload: bytes | None = None,
+                mtu: int = ETH_MTU) -> bytes:
+    """Build one TCP/IPv4/Ethernet frame carrying ``payload_len`` bytes."""
+    if payload_len < 0 or payload_len > max_payload(mtu):
+        raise ConfigurationError(
+            f"payload {payload_len} exceeds MSS {max_payload(mtu)}"
+        )
+    if payload is None:
+        payload = bytes(payload_len)
+    elif len(payload) != payload_len:
+        raise ConfigurationError("payload bytes disagree with payload_len")
+    ip_total = IP_HEADER_LEN + TCP_HEADER_LEN + payload_len
+    eth = struct.pack(_ETH_FMT, b"\x02\x00\x00\x00\x00\x02",
+                      b"\x02\x00\x00\x00\x00\x01", ETHERTYPE_IPV4)
+    ip = struct.pack(_IP_FMT,
+                     0x45, 0, ip_total, 0, 0, 64, 6, 0,
+                     bytes([10, 0, 0, 1]), bytes([10, 0, 0, 2]))
+    tcp = struct.pack(_TCP_FMT, src_port, dst_port, seq, 0,
+                      (TCP_HEADER_LEN // 4) << 4, 0x10, 0xFFFF, 0, 0)
+    return eth + ip + tcp + payload
+
+
+def parse_frame(frame: bytes) -> ParsedFrame:
+    """Parse the headers of a frame produced by :func:`build_frame`."""
+    if len(frame) < HEADERS_LEN:
+        raise ConfigurationError(f"runt frame of {len(frame)} bytes")
+    ethertype = struct.unpack_from("!H", frame, 12)[0]
+    if ethertype != ETHERTYPE_IPV4:
+        raise ConfigurationError(f"unexpected ethertype {ethertype:#x}")
+    ip_fields = struct.unpack_from(_IP_FMT, frame, ETH_HEADER_LEN)
+    ip_total = ip_fields[2]
+    tcp_off = ETH_HEADER_LEN + IP_HEADER_LEN
+    src_port, dst_port, seq = struct.unpack_from("!HHI", frame, tcp_off)
+    payload_len = ip_total - IP_HEADER_LEN - TCP_HEADER_LEN
+    return ParsedFrame(src_port=src_port, dst_port=dst_port, seq=seq,
+                       payload_len=payload_len, ip_total_len=ip_total)
+
+
+def segment_payload(total_bytes: int, mss: int = TCP_MSS) -> list[int]:
+    """Split a byte stream into per-frame payload sizes (TSO/wire view)."""
+    if total_bytes < 0:
+        raise ConfigurationError("negative byte count")
+    if total_bytes == 0:
+        return []
+    full, rest = divmod(total_bytes, mss)
+    sizes = [mss] * full
+    if rest:
+        sizes.append(rest)
+    return sizes

@@ -1,0 +1,36 @@
+"""Result containers and paper-style table renderers."""
+
+from repro.stats.reporting import (
+    render_breakdown_table,
+    render_latency_table,
+    render_memcached_table,
+    render_property_matrix,
+    render_throughput_table,
+)
+from repro.stats.analytical import (
+    copy_invalidate_breakeven_bytes,
+    predict_all_rx,
+    predict_rx,
+    strict_saturation_gbps,
+)
+from repro.stats.export import result_to_row, to_csv, to_json, write_csv, write_json
+from repro.stats.results import RunResult, Series
+
+__all__ = [
+    "RunResult",
+    "Series",
+    "render_throughput_table",
+    "render_breakdown_table",
+    "render_latency_table",
+    "render_property_matrix",
+    "render_memcached_table",
+    "predict_rx",
+    "predict_all_rx",
+    "copy_invalidate_breakeven_bytes",
+    "strict_saturation_gbps",
+    "to_csv",
+    "to_json",
+    "write_csv",
+    "write_json",
+    "result_to_row",
+]

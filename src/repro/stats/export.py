@@ -1,0 +1,89 @@
+"""Export run results to CSV / JSON for external analysis.
+
+The benchmark harness prints paper-style text tables; this module gives
+downstream users machine-readable forms of the same data — one row per
+:class:`~repro.stats.results.RunResult`, with the breakdown flattened
+into per-category columns.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable, List, Sequence
+
+from repro.hw.cpu import ALL_CATEGORIES
+from repro.stats.results import RunResult
+
+#: Fixed column order for CSV output.
+BASE_COLUMNS = (
+    "scheme", "workload", "units", "payload_bytes", "wall_cycles",
+    "busy_cycles", "cores", "throughput_gbps", "cpu_utilization",
+    "us_per_unit", "latency_us", "transactions_per_sec",
+)
+
+
+def result_to_row(result: RunResult) -> dict:
+    """Flatten one result into a plain dict (JSON/CSV friendly)."""
+    row: dict = {
+        "scheme": result.scheme,
+        "workload": result.workload,
+        "units": result.units,
+        "payload_bytes": result.payload_bytes,
+        "wall_cycles": result.wall_cycles,
+        "busy_cycles": result.busy_cycles,
+        "cores": result.cores,
+        "throughput_gbps": round(result.throughput_gbps, 4),
+        "cpu_utilization": round(result.cpu_utilization, 4),
+        "us_per_unit": round(result.us_per_unit, 4),
+        "latency_us": (round(result.latency_us, 3)
+                       if result.latency_us is not None else None),
+        "transactions_per_sec": (round(result.transactions_per_sec, 1)
+                                 if result.transactions_per_sec is not None
+                                 else None),
+    }
+    for key, value in sorted(result.params.items()):
+        row[f"param_{key}"] = value
+    breakdown = result.breakdown_us_per_unit()
+    for category in ALL_CATEGORIES:
+        row[f"us_{category.replace(' ', '_')}"] = round(
+            breakdown[category], 4)
+    return row
+
+
+def _columns(rows: Sequence[dict]) -> List[str]:
+    columns = list(BASE_COLUMNS)
+    seen = set(columns)
+    for row in rows:
+        for key in row:
+            if key not in seen:
+                columns.append(key)
+                seen.add(key)
+    return columns
+
+
+def to_csv(results: Iterable[RunResult]) -> str:
+    """Render results as a CSV document (header + one row each)."""
+    rows = [result_to_row(r) for r in results]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=_columns(rows),
+                            restval="", extrasaction="ignore")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def to_json(results: Iterable[RunResult], indent: int = 2) -> str:
+    """Render results as a JSON array of flattened rows."""
+    return json.dumps([result_to_row(r) for r in results], indent=indent)
+
+
+def write_csv(results: Iterable[RunResult], path: str) -> None:
+    with open(path, "w", newline="") as fh:
+        fh.write(to_csv(results))
+
+
+def write_json(results: Iterable[RunResult], path: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(to_json(results))

@@ -1,0 +1,144 @@
+"""Plain-text rendering of the paper's tables and figure data.
+
+The benchmark harness prints the same rows/series the paper reports:
+throughput and CPU per message size (Figures 3/4/6/7/9), per-packet time
+breakdowns (Figures 5/8/10), the memcached bars (Figure 11), and the
+Table 1 property matrix.  Everything renders as aligned monospace text —
+the repository's "figures" are these series, per the reproduction brief.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.hw.cpu import ALL_CATEGORIES
+from repro.stats.results import RunResult
+
+
+def _fmt_size(size: int) -> str:
+    if size >= 1024 and size % 1024 == 0:
+        return f"{size // 1024}KB"
+    return f"{size}B"
+
+
+def render_throughput_table(results: Dict[str, List[RunResult]],
+                            param: str = "message_size",
+                            baseline: str = "no-iommu",
+                            title: str = "") -> str:
+    """Render throughput [Gb/s], relative throughput, CPU [%], relative CPU
+    — the four panels of the paper's throughput figures — as one table."""
+    schemes = list(results)
+    sizes = [r.params[param] for r in results[schemes[0]]]
+    base = {r.params[param]: r for r in results.get(baseline, results[schemes[0]])}
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'scheme':<18}" + "".join(
+        f"{_fmt_size(s):>10}" for s in sizes)
+    for panel, getter in (
+        ("throughput [Gb/s]", lambda r, b: f"{r.throughput_gbps:10.2f}"),
+        ("relative throughput", lambda r, b:
+            f"{(r.throughput_gbps / b.throughput_gbps if b.throughput_gbps else 0):10.2f}"),
+        ("cpu [%]", lambda r, b: f"{100 * r.cpu_utilization:10.1f}"),
+        ("relative cpu", lambda r, b:
+            f"{(r.cpu_utilization / b.cpu_utilization if b.cpu_utilization else 0):10.2f}"),
+    ):
+        lines.append(f"--- {panel} ---")
+        lines.append(header)
+        for scheme in schemes:
+            row = f"{scheme:<18}"
+            for r in results[scheme]:
+                b = base[r.params[param]]
+                row += getter(r, b)
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_breakdown_table(results: Dict[str, RunResult],
+                           title: str = "") -> str:
+    """Per-packet time breakdown in µs (the paper's Figures 5/8/10 bars)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    schemes = list(results)
+    lines.append(f"{'category':<24}" + "".join(f"{s:>14}" for s in schemes))
+    for cat in ALL_CATEGORIES:
+        row = f"{cat:<24}"
+        for scheme in schemes:
+            row += f"{results[scheme].breakdown_us_per_unit()[cat]:14.3f}"
+        lines.append(row)
+    row = f"{'TOTAL (us/unit)':<24}"
+    for scheme in schemes:
+        row += f"{results[scheme].us_per_unit:14.3f}"
+    lines.append(row)
+    row = f"{'throughput (Gb/s)':<24}"
+    for scheme in schemes:
+        row += f"{results[scheme].throughput_gbps:14.2f}"
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def render_latency_table(results: Dict[str, List[RunResult]],
+                         param: str = "message_size",
+                         baseline: str = "no-iommu",
+                         title: str = "") -> str:
+    """Latency [µs], relative latency, CPU [%], relative CPU (Figure 9)."""
+    schemes = list(results)
+    sizes = [r.params[param] for r in results[schemes[0]]]
+    base = {r.params[param]: r for r in results.get(baseline, results[schemes[0]])}
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = f"{'scheme':<18}" + "".join(f"{_fmt_size(s):>10}" for s in sizes)
+    for panel, getter in (
+        ("latency [us]", lambda r, b: f"{(r.latency_us or 0):10.1f}"),
+        ("relative latency", lambda r, b:
+            f"{((r.latency_us or 0) / b.latency_us if b.latency_us else 0):10.2f}"),
+        ("cpu [%]", lambda r, b: f"{100 * r.cpu_utilization:10.1f}"),
+        ("relative cpu", lambda r, b:
+            f"{(r.cpu_utilization / b.cpu_utilization if b.cpu_utilization else 0):10.2f}"),
+    ):
+        lines.append(f"--- {panel} ---")
+        lines.append(header)
+        for scheme in schemes:
+            row = f"{scheme:<18}"
+            for r in results[scheme]:
+                row += getter(r, base[r.params[param]])
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_property_matrix(rows: Sequence[tuple[str, Dict[str, bool]]],
+                           columns: Iterable[str],
+                           title: str = "Table 1") -> str:
+    """The Table 1 ✓/✗ matrix (verified empirically by the audit)."""
+    columns = list(columns)
+    lines = [title,
+             f"{'scheme':<34}" + "".join(f"{c:>22}" for c in columns)]
+    for label, props in rows:
+        row = f"{label:<34}"
+        for col in columns:
+            mark = "yes" if props.get(col) else "-"
+            row += f"{mark:>22}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_memcached_table(results: Dict[str, RunResult],
+                           baseline: str = "no-iommu",
+                           title: str = "") -> str:
+    """memcached transactions/s + CPU (Figure 11 bars)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'scheme':<20}{'Mtps':>10}{'rel':>8}{'cpu %':>8}")
+    base = results.get(baseline)
+    for scheme, r in results.items():
+        tps = (r.transactions_per_sec or 0.0) / 1e6
+        rel = (tps * 1e6 / base.transactions_per_sec
+               if base and base.transactions_per_sec else 0.0)
+        lines.append(f"{scheme:<20}{tps:>10.3f}{rel:>8.2f}"
+                     f"{100 * r.cpu_utilization:>8.1f}")
+    return "\n".join(lines)

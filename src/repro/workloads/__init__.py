@@ -1,0 +1,28 @@
+"""Workload drivers: netperf TCP_STREAM / TCP_RR and memcached+memslap."""
+
+from repro.workloads.memcached import KeyValueStore, MemcachedConfig, run_memcached
+from repro.workloads.storage import StorageConfig, run_storage
+from repro.workloads.netperf import (
+    PAPER_MESSAGE_SIZES,
+    RRConfig,
+    StreamConfig,
+    run_tcp_rr,
+    run_tcp_stream,
+    run_tcp_stream_rx,
+    run_tcp_stream_tx,
+)
+
+__all__ = [
+    "StreamConfig",
+    "RRConfig",
+    "MemcachedConfig",
+    "run_tcp_stream",
+    "run_tcp_stream_rx",
+    "run_tcp_stream_tx",
+    "run_tcp_rr",
+    "run_memcached",
+    "StorageConfig",
+    "run_storage",
+    "KeyValueStore",
+    "PAPER_MESSAGE_SIZES",
+]

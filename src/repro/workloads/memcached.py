@@ -1,0 +1,191 @@
+"""memcached + memslap application workload (paper Figure 11).
+
+One memcached instance per core (the paper runs 16 to avoid memcached's
+internal lock contention), loaded by memslap's default mix: 64-byte keys,
+1 KB values, 90% GET / 10% SET.  Each transaction exercises the full
+datapath: a real request frame through the RX DMA path, a hash-table
+lookup/update against an actual in-memory store, and a real response
+through the TX DMA path — so every protection scheme pays its true
+per-transaction costs.
+
+Aggregated transactions/s and CPU utilization are reported; identity+
+collapses here because every transaction needs (at least) two IOTLB
+invalidations through the global queue lock.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.cpu import CAT_COPY_USER, CAT_OTHER, Core
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import UNIT_DONE, GeneratorTask, Scheduler
+from repro.sim.units import CPU_FREQ_HZ
+from repro.stats.results import RunResult
+from repro.net.packets import build_frame
+from repro.workloads.netperf import _build_system, _collect, StreamConfig
+
+#: memslap defaults (§6 "Benchmarks").
+DEFAULT_KEY_SIZE = 64
+DEFAULT_VALUE_SIZE = 1024
+DEFAULT_GET_FRACTION = 0.9
+
+
+class KeyValueStore:
+    """A miniature memcached: a bounded hash map of bytes → bytes."""
+
+    def __init__(self, max_items: int = 1 << 20):
+        self._data: Dict[bytes, bytes] = {}
+        self.max_items = max_items
+        self.hits = 0
+        self.misses = 0
+
+    def set(self, key: bytes, value: bytes) -> None:
+        if len(self._data) >= self.max_items and key not in self._data:
+            # Trivial eviction: drop an arbitrary item (LRU is out of
+            # scope; eviction order does not affect the measured path).
+            self._data.pop(next(iter(self._data)))
+        self._data[key] = value
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+@dataclass
+class MemcachedConfig:
+    """Parameters of one memcached/memslap measurement."""
+
+    scheme: str = "copy"
+    cores: int = 16
+    transactions_per_core: int = 600
+    warmup_transactions: int = 100
+    key_size: int = DEFAULT_KEY_SIZE
+    value_size: int = DEFAULT_VALUE_SIZE
+    get_fraction: float = DEFAULT_GET_FRACTION
+    keys: int = 2048
+    seed: int = 20160402          # ASPLOS'16 presentation date
+    use_copy_hints: bool = True
+    cost: Optional[CostModel] = None
+    scheme_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+def run_memcached(cfg: MemcachedConfig) -> RunResult:
+    """Run the Figure 11 workload; returns aggregate transactions/s."""
+    if not 0.0 <= cfg.get_fraction <= 1.0:
+        raise ConfigurationError("get_fraction must be in [0, 1]")
+    stream_like = StreamConfig(scheme=cfg.scheme, cores=cfg.cores,
+                               use_copy_hints=cfg.use_copy_hints,
+                               cost=cfg.cost,
+                               scheme_kwargs=cfg.scheme_kwargs)
+    system = _build_system(stream_like)
+    machine, cost = system.machine, system.cost
+
+    stores = [KeyValueStore() for _ in range(cfg.cores)]
+    rng = random.Random(cfg.seed)
+    key_space = [f"key-{i:08d}".encode().ljust(cfg.key_size, b"k")
+                 for i in range(cfg.keys)]
+    value = bytes(range(256)) * (cfg.value_size // 256 + 1)
+    value = value[:cfg.value_size]
+
+    # Pre-populate so GETs hit (memslap preloads the same way).
+    for store in stores:
+        for key in key_space[:256]:
+            store.set(key, value)
+
+    # memslap protocol overheads: request = verb + key (+ value for SET);
+    # response = value (+ header) for GET, short status for SET.
+    get_req = build_frame(cfg.key_size + 40)
+    set_req_payload = cfg.key_size + cfg.value_size + 48
+    set_req = build_frame(min(set_req_payload, 1400))
+    get_resp_bytes = cfg.value_size + 64
+    set_resp_bytes = 48
+
+    # Offered load: memslap's aggregate ceiling, split across instances.
+    per_core_interval = CPU_FREQ_HZ / (cost.memslap_offered_tps / cfg.cores)
+
+    class _State:
+        __slots__ = ("units", "next_arrival", "rng")
+
+        def __init__(self, seed: int) -> None:
+            self.units = 0
+            self.next_arrival = 0.0
+            self.rng = random.Random(seed)
+
+    states = {c.cid: _State(cfg.seed ^ c.cid) for c in machine.cores}
+    measuring = {"on": False}
+    totals = {"units": 0, "bytes": 0}
+
+    def worker(c: Core, limit: int):
+        # A generator task: yields between the RX half, the application
+        # half, and the TX half of each transaction so that lock waits
+        # interleave correctly across cores (see GeneratorTask).
+        state = states[c.cid]
+        store = stores[c.cid]
+        qid = c.cid
+        while state.units < limit:
+            state.next_arrival += per_core_interval
+            if c.now < state.next_arrival:
+                c.advance_to(int(state.next_arrival))
+            elif state.next_arrival < c.now - 64 * per_core_interval:
+                state.next_arrival = c.now - 64 * per_core_interval
+            is_get = state.rng.random() < cfg.get_fraction
+            key = key_space[state.rng.randrange(256 if is_get else cfg.keys)]
+            # Request arrives through the RX DMA path.
+            req = get_req if is_get else set_req
+            if system.driver.receive_one(c, qid, req) is None:
+                raise ConfigurationError("memcached request dropped")
+            yield
+            c.charge(cost.syscall_cycles, CAT_OTHER)          # recv/epoll
+            c.charge(cost.memcached_app_cycles, CAT_OTHER)    # hash + LRU
+            if is_get:
+                store.get(key)
+                resp_bytes = get_resp_bytes
+            else:
+                store.set(key, value)
+                resp_bytes = set_resp_bytes
+            yield
+            # Response leaves through the TX DMA path.
+            c.charge(cost.syscall_cycles, CAT_OTHER)          # send
+            c.charge(cost.copy_to_user_cycles(resp_bytes), CAT_COPY_USER)
+            system.driver.transmit_one(c, qid, resp_bytes)
+            state.units += 1
+            if measuring["on"]:
+                totals["units"] += 1
+                totals["bytes"] += resp_bytes + (req and len(req))
+            yield UNIT_DONE
+
+    machine.sync_clocks()
+    Scheduler([GeneratorTask(core=c, gen=worker(c, cfg.warmup_transactions),
+                             name=f"mc{c.cid}-warm")
+               for c in machine.cores]).run()
+    machine.reset_accounting()
+    start = machine.sync_clocks()
+    for state in states.values():
+        state.next_arrival = float(start)
+    measuring["on"] = True
+    total = cfg.warmup_transactions + cfg.transactions_per_core
+    Scheduler([GeneratorTask(core=c, gen=worker(c, total),
+                             name=f"mc{c.cid}") for c in machine.cores]).run()
+
+    params = {"cores": cfg.cores, "value_size": cfg.value_size,
+              "get_fraction": cfg.get_fraction}
+    result = _collect(system, cfg.scheme, "memcached", params,
+                      totals["units"], totals["bytes"], start)
+    if result.wall_cycles > 0:
+        result.transactions_per_sec = (totals["units"] * CPU_FREQ_HZ
+                                       / result.wall_cycles)
+    result.extras["store_hits"] = sum(s.hits for s in stores)
+    result.extras["store_misses"] = sum(s.misses for s in stores)
+    system.teardown_queues()
+    return result

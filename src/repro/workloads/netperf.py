@@ -1,0 +1,440 @@
+"""netperf-style workloads: TCP_STREAM (RX and TX) and TCP_RR.
+
+These drive the simulated system the way the paper's §6 benchmarks drive
+the testbed:
+
+* **TCP_STREAM RX** — the evaluated machine receives MTU frames at the
+  offered load (bounded by the sender's syscall rate for small messages —
+  §6 footnote 6 — and by the 40 Gb/s line otherwise), one netperf
+  instance (queue + core) per core.
+* **TCP_STREAM TX** — the evaluated machine transmits; TSO passes up to
+  64 KB chunks to the NIC, so large-message TX is dominated by per-chunk
+  costs (including, for ``copy``, the 64 KB shadow memcpy — Fig. 5b).
+* **TCP_RR** — single-connection request/response; reports the mean
+  round-trip latency and the CPU spent per transaction (Figures 9/10).
+
+Each run returns a :class:`~repro.stats.results.RunResult` whose
+breakdown uses the same categories as the paper's stacked bars.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.hw.cpu import CAT_COPY_USER, CAT_OTHER, Core, merge_breakdowns
+from repro.hw.locks import SharedResource
+from repro.sim.costmodel import CostModel
+from repro.sim.engine import UNIT_DONE, CoreTask, GeneratorTask, Scheduler
+from repro.sim.units import (
+    CPU_FREQ_HZ,
+    TCP_MSS,
+    TSO_MAX_BYTES,
+    cycles_to_us,
+    gbps_to_bytes_per_cycle,
+    us_to_cycles,
+)
+from repro.stats.results import RunResult
+from repro.system import System, SystemConfig
+from repro.net.packets import build_frame, max_payload, segment_payload
+
+#: Message sizes swept by the paper's figures.
+PAPER_MESSAGE_SIZES = (64, 256, 1024, 4096, 16384, 65536)
+
+#: TX pipeline depth: how far (in cycles) the CPU may run ahead of the
+#: wire before blocking in send() on a full socket buffer.
+_TX_BACKLOG_CYCLES = us_to_cycles(100.0)
+
+#: RR receive coalescing (LRO/GRO): frames merged per RX buffer.
+_RR_GRO_FRAMES = 8
+
+
+@dataclass
+class StreamConfig:
+    """Parameters of one TCP_STREAM measurement."""
+
+    scheme: str = "copy"
+    direction: str = "rx"              # "rx" or "tx"
+    message_size: int = 16384
+    cores: int = 1
+    units_per_core: int = 2000         # segments (rx) / messages (tx)
+    warmup_units: int = 300
+    use_copy_hints: bool = True
+    cost: Optional[CostModel] = None
+    scheme_kwargs: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("rx", "tx"):
+            raise ConfigurationError(f"bad direction {self.direction!r}")
+        if self.message_size < 1:
+            raise ConfigurationError("message_size must be positive")
+
+
+def _build_system(cfg: StreamConfig, rx_buf_size: int = 2048) -> System:
+    system = System.build(SystemConfig(
+        scheme=cfg.scheme, cores=cfg.cores,
+        rx_buf_size=rx_buf_size,
+        use_copy_hints=cfg.use_copy_hints,
+        cost=cfg.cost,
+        scheme_kwargs=dict(cfg.scheme_kwargs),
+    ))
+    system.setup_queues()
+    return system
+
+
+def _collect(system: System, cfg_scheme: str, workload: str,
+             params: Dict[str, object], units: int, payload_bytes: int,
+             start_wall: int) -> RunResult:
+    machine = system.machine
+    wall = machine.wall_clock() - start_wall
+    result = RunResult(
+        scheme=cfg_scheme, workload=workload, params=params,
+        units=units, payload_bytes=payload_bytes,
+        wall_cycles=wall,
+        busy_cycles=sum(c.busy_cycles for c in machine.cores),
+        cores=machine.num_cores,
+        breakdown_cycles=dict(merge_breakdowns(machine.cores)),
+    )
+    result.extras["iotlb"] = (vars(system.iommu.iotlb.stats).copy()
+                              if system.iommu else {})
+    pool = getattr(system.dma_api, "pool", None)
+    if pool is not None:
+        result.extras["pool"] = vars(pool.stats).copy()
+    invq = system.iommu.invalidation_queue if system.iommu else None
+    if invq is not None:
+        result.extras["inv_lock_wait_cycles"] = invq.lock.stats.total_wait_cycles
+        result.extras["sync_invalidations"] = invq.sync_invalidations
+        result.extras["batch_flushes"] = invq.batch_flushes
+    samples = getattr(system.dma_api, "window_samples", None)
+    if samples:
+        result.extras["window_mean_us"] = cycles_to_us(
+            sum(samples) / len(samples))
+        result.extras["window_max_us"] = cycles_to_us(max(samples))
+    return result
+
+
+# ----------------------------------------------------------------------
+# TCP_STREAM receive.
+# ----------------------------------------------------------------------
+def run_tcp_stream_rx(cfg: StreamConfig) -> RunResult:
+    """The evaluated machine as netperf *receiver* (Figures 3 and 6)."""
+    system = _build_system(cfg)
+    machine, cost = system.machine, system.cost
+
+    # Wire segments: messages below the MSS coalesce into full segments
+    # (the sender's kernel does this; the sender's syscall rate is then
+    # the limiting factor for throughput).  Messages above the MSS arrive
+    # as their own segment runs.
+    if cfg.message_size >= TCP_MSS:
+        seg_sizes = segment_payload(cfg.message_size)
+    else:
+        seg_sizes = [TCP_MSS]
+    frames = {size: build_frame(size) for size in set(seg_sizes)}
+    # Offered load per core/instance: the per-instance sender syscall
+    # ceiling, capped by this core's share of the line rate.
+    per_core_offered_bytes_per_sec = min(
+        cost.netperf_sender_msgs_per_sec * cfg.message_size,
+        cost.nic_rx_line_gbps * 1e9 / 8 / cfg.cores,
+    )
+    per_core_bytes_per_cycle = per_core_offered_bytes_per_sec / CPU_FREQ_HZ
+
+    syscall_per_segment = cfg.message_size < TCP_MSS
+
+    class _RxState:
+        __slots__ = ("next_arrival", "seg_index", "units", "bytes")
+
+        def __init__(self) -> None:
+            self.next_arrival = 0.0
+            self.seg_index = 0
+            self.units = 0
+            self.bytes = 0
+
+    states = {core.cid: _RxState() for core in machine.cores}
+    measuring = {"on": False}
+    totals = {"units": 0, "bytes": 0}
+
+    def make_step(core: Core, limit: int):
+        state = states[core.cid]
+        qid = core.cid
+        total_units = limit
+
+        def step(c: Core) -> bool:
+            payload = seg_sizes[state.seg_index % len(seg_sizes)]
+            state.seg_index += 1
+            interval = payload / per_core_bytes_per_cycle
+            state.next_arrival += interval
+            if c.now < state.next_arrival:
+                c.advance_to(int(state.next_arrival))
+            elif state.next_arrival < c.now - 64 * interval:
+                # The receiver cannot keep up; arrivals back up at the
+                # NIC (and would be dropped) — keep the pacer near the
+                # core clock instead of accumulating unbounded backlog.
+                state.next_arrival = c.now - 64 * interval
+            got = system.driver.receive_one(c, qid, frames[payload])
+            if got is None:
+                raise ConfigurationError("NIC dropped a paced frame")
+            # Socket/stack costs above the driver.
+            c.charge(cost.copy_to_user_cycles(payload), CAT_COPY_USER)
+            c.charge(cost.rx_other_cycles, CAT_OTHER)
+            if syscall_per_segment:
+                # Sender-limited regime: the receiver blocks between
+                # segments, paying a wakeup + recv() per arrival.
+                c.charge(cost.wakeup_cycles + cost.syscall_cycles, CAT_OTHER)
+            elif state.seg_index % len(seg_sizes) == 0:
+                c.charge(cost.syscall_cycles, CAT_OTHER)
+            state.units += 1
+            if measuring["on"]:
+                totals["units"] += 1
+                totals["bytes"] += payload
+            return state.units < total_units
+
+        return step
+
+    # Warmup phase: a fixed unit count *per core*, so the measured phase
+    # starts with every core holding the same amount of remaining work.
+    machine.sync_clocks()
+    Scheduler([CoreTask(core=c, step=make_step(c, cfg.warmup_units),
+                        name=f"rx{c.cid}-warm") for c in machine.cores]).run()
+    machine.reset_accounting()
+    start = machine.sync_clocks()
+    for state in states.values():
+        state.next_arrival = float(start)
+    measuring["on"] = True
+    total = cfg.warmup_units + cfg.units_per_core
+    Scheduler([CoreTask(core=c, step=make_step(c, total),
+                        name=f"rx{c.cid}") for c in machine.cores]).run()
+    params = {"message_size": cfg.message_size, "cores": cfg.cores,
+              "direction": "rx"}
+    result = _collect(system, cfg.scheme, "tcp_stream_rx", params,
+                      totals["units"], totals["bytes"], start)
+    system.teardown_queues()
+    return result
+
+
+# ----------------------------------------------------------------------
+# TCP_STREAM transmit.
+# ----------------------------------------------------------------------
+def run_tcp_stream_tx(cfg: StreamConfig) -> RunResult:
+    """The evaluated machine as netperf *transmitter* (Figures 4 and 7)."""
+    system = _build_system(cfg)
+    machine, cost = system.machine, system.cost
+    wire = SharedResource("tx-wire")
+    line_bytes_per_cycle = gbps_to_bytes_per_cycle(cost.nic_tx_line_gbps)
+
+    chunk_sizes = _tx_chunks(cfg.message_size)
+    npages_per_msg = max(1, math.ceil(cfg.message_size / 4096))
+    # Delayed ACKs: the peer acknowledges every other TSO chunk; each ACK
+    # is a real (54-byte) inbound frame that takes the full RX DMA path —
+    # including the protection scheme's map/unmap costs.
+    ack_frame = build_frame(0)
+
+    # Messages below the MSS coalesce in the socket (Nagle/TSQ): the DMA
+    # chunk — and hence the per-chunk protection cost — is per MSS
+    # segment, amortized over many small sends.  That is why the paper's
+    # Fig. 4 shows all schemes performing comparably below 512 B.
+    coalescing = cfg.message_size < TCP_MSS
+
+    class _TxState:
+        __slots__ = ("units", "bytes", "accum")
+
+        def __init__(self) -> None:
+            self.units = 0
+            self.bytes = 0
+            self.accum = 0
+
+    states = {core.cid: _TxState() for core in machine.cores}
+    measuring = {"on": False}
+    totals = {"units": 0, "bytes": 0}
+
+    chunk_counter = {"n": 0}
+
+    def _emit_chunk(c: Core, qid: int, chunk: int):
+        # Generator: yields between the transmit DMA cycle and the ACK's
+        # RX DMA cycle — each takes the invalidation lock under strict
+        # protection, and fine-grained interleaving keeps the timestamp
+        # lock model accurate (see GeneratorTask).
+        system.driver.transmit_one(c, qid, chunk)
+        c.charge(cost.ack_process_cycles, CAT_OTHER)
+        yield
+        chunk_counter["n"] += 1
+        if chunk_counter["n"] % 2 == 0:
+            system.driver.receive_one(c, qid, ack_frame)
+            yield
+        # Wire pacing: block in send() when the socket buffer (the
+        # allowed backlog) is full.
+        done = wire.occupy(c.now, round(chunk / line_bytes_per_cycle))
+        if done - c.now > _TX_BACKLOG_CYCLES:
+            c.advance_to(done - _TX_BACKLOG_CYCLES)
+
+    def worker(c: Core, limit: int):
+        state = states[c.cid]
+        qid = c.cid
+        while state.units < limit:
+            # send() syscall: user copy + TCP segmentation bookkeeping.
+            c.charge(cost.syscall_cycles, CAT_OTHER)
+            c.charge(cost.copy_to_user_cycles(cfg.message_size),
+                     CAT_COPY_USER)
+            c.charge(cost.tcp_tx_fixed_cycles, CAT_OTHER)
+            c.charge(cost.tcp_tx_per_page_cycles * npages_per_msg, CAT_OTHER)
+            if coalescing:
+                state.accum += cfg.message_size
+                while state.accum >= TCP_MSS:
+                    yield from _emit_chunk(c, qid, TCP_MSS)
+                    state.accum -= TCP_MSS
+            else:
+                for chunk in chunk_sizes:
+                    yield from _emit_chunk(c, qid, chunk)
+            state.units += 1
+            if measuring["on"]:
+                totals["units"] += 1
+                totals["bytes"] += cfg.message_size
+            yield UNIT_DONE
+
+    machine.sync_clocks()
+    Scheduler([GeneratorTask(core=c, gen=worker(c, cfg.warmup_units),
+                             name=f"tx{c.cid}-warm")
+               for c in machine.cores]).run()
+    machine.reset_accounting()
+    start = machine.sync_clocks()
+    measuring["on"] = True
+    total = cfg.warmup_units + cfg.units_per_core
+    Scheduler([GeneratorTask(core=c, gen=worker(c, total),
+                             name=f"tx{c.cid}") for c in machine.cores]).run()
+    # The wire may still be draining the backlog when the last send
+    # returns; throughput accounts for the drain.
+    end = max(machine.wall_clock(), wire.busy_until)
+    for core in machine.cores:
+        core.advance_to(end)
+    params = {"message_size": cfg.message_size, "cores": cfg.cores,
+              "direction": "tx"}
+    result = _collect(system, cfg.scheme, "tcp_stream_tx", params,
+                      totals["units"], totals["bytes"], start)
+    system.teardown_queues()
+    return result
+
+
+def _tx_chunks(message_size: int) -> List[int]:
+    """TSO chunking: a message becomes ≤64 KB DMA chunks."""
+    full, rest = divmod(message_size, TSO_MAX_BYTES)
+    chunks = [TSO_MAX_BYTES] * full
+    if rest:
+        chunks.append(rest)
+    return chunks
+
+
+def run_tcp_stream(cfg: StreamConfig) -> RunResult:
+    """Dispatch on ``cfg.direction``."""
+    if cfg.direction == "rx":
+        return run_tcp_stream_rx(cfg)
+    return run_tcp_stream_tx(cfg)
+
+
+# ----------------------------------------------------------------------
+# TCP_RR — request/response latency (Figures 9 and 10).
+# ----------------------------------------------------------------------
+@dataclass
+class RRConfig:
+    """Parameters of one TCP_RR measurement (single core, single flow)."""
+
+    scheme: str = "copy"
+    message_size: int = 64
+    transactions: int = 400
+    warmup_transactions: int = 50
+    use_copy_hints: bool = True
+    cost: Optional[CostModel] = None
+    scheme_kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+def run_tcp_rr(cfg: RRConfig) -> RunResult:
+    """Closed-loop request/response: one transaction in flight at a time.
+
+    The remote end is the (unprotected) traffic generator; its CPU time
+    is estimated with the same stack model minus protection costs.
+    """
+    stream_like = StreamConfig(scheme=cfg.scheme, cores=1,
+                               use_copy_hints=cfg.use_copy_hints,
+                               cost=cfg.cost,
+                               scheme_kwargs=cfg.scheme_kwargs)
+    # LRO configuration: RR coalesces inbound frames into 16 KB buffers.
+    system = _build_system(stream_like, rx_buf_size=16384)
+    machine, cost = system.machine, system.cost
+    core = machine.core(0)
+    size = cfg.message_size
+
+    aggr_payloads = _gro_aggregates(size)
+    frames = {p: build_frame(p, mtu=p + 60) for p in set(aggr_payloads)}
+    wire_cycles = round(size / gbps_to_bytes_per_cycle(40.0))
+    npages_per_msg = max(1, math.ceil(size / 4096))
+    client_cpu = _client_cpu_cycles(cost, size)
+
+    latencies: List[int] = []
+    measuring = False
+    payload_bytes = 0
+
+    def transaction() -> None:
+        nonlocal payload_bytes
+        t0 = core.now
+        # Request propagates: NIC/PCIe latency + serialization.
+        core.advance_to(t0 + cost.wire_latency_cycles + wire_cycles)
+        for payload in aggr_payloads:
+            if system.driver.receive_one(core, 0, frames[payload]) is None:
+                raise ConfigurationError("RR frame dropped")
+        core.charge(cost.copy_to_user_cycles(size), CAT_COPY_USER)
+        core.charge(cost.rx_other_cycles, CAT_OTHER)
+        core.charge(cost.wakeup_cycles, CAT_OTHER)
+        core.charge(cost.syscall_cycles, CAT_OTHER)     # recv()
+        # Build and send the response.
+        core.charge(cost.syscall_cycles, CAT_OTHER)     # send()
+        core.charge(cost.copy_to_user_cycles(size), CAT_COPY_USER)
+        core.charge(cost.tcp_tx_fixed_cycles, CAT_OTHER)
+        core.charge(cost.tcp_tx_per_page_cycles * npages_per_msg, CAT_OTHER)
+        for chunk in _tx_chunks(size):
+            system.driver.transmit_one(core, 0, chunk)
+        # Response propagates to the client, which turns it around.
+        rtt_end = (core.now + cost.wire_latency_cycles + wire_cycles
+                   + client_cpu + cost.wakeup_cycles)
+        if measuring:
+            latencies.append(rtt_end - t0)
+            payload_bytes += 2 * size
+        core.advance_to(rtt_end)
+
+    for _ in range(cfg.warmup_transactions):
+        transaction()
+    machine.reset_accounting()
+    start = machine.sync_clocks()
+    measuring = True
+    for _ in range(cfg.transactions):
+        transaction()
+
+    params = {"message_size": size, "cores": 1}
+    result = _collect(system, cfg.scheme, "tcp_rr", params,
+                      cfg.transactions, payload_bytes, start)
+    result.latency_us = (cycles_to_us(sum(latencies) / len(latencies))
+                         if latencies else 0.0)
+    system.teardown_queues()
+    return result
+
+
+def _gro_aggregates(size: int) -> List[int]:
+    """Split ``size`` inbound bytes into LRO/GRO aggregates."""
+    per_aggregate = _RR_GRO_FRAMES * TCP_MSS
+    aggregates: List[int] = []
+    remaining = size
+    while remaining > 0:
+        aggregates.append(min(remaining, per_aggregate))
+        remaining -= per_aggregate
+    return aggregates or [size]
+
+
+def _client_cpu_cycles(cost: CostModel, size: int) -> int:
+    """Traffic-generator turnaround estimate (no IOMMU on that side)."""
+    naggr = len(_gro_aggregates(size))
+    rx = naggr * (cost.rx_parse_cycles + cost.rx_other_cycles
+                  + cost.rx_refill_cycles)
+    rx += cost.copy_to_user_cycles(size)
+    tx = (cost.syscall_cycles * 2 + cost.tcp_tx_fixed_cycles
+          + cost.tcp_tx_per_page_cycles * max(1, math.ceil(size / 4096))
+          + cost.copy_to_user_cycles(size))
+    return rx + tx

@@ -1,0 +1,47 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dma.registry import create_dma_api
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Iommu
+from repro.kalloc.slab import KernelAllocators
+
+
+@pytest.fixture
+def machine() -> Machine:
+    """A small default machine: 4 cores over 2 NUMA nodes."""
+    return Machine.build(cores=4, numa_nodes=2)
+
+
+@pytest.fixture
+def single_core_machine() -> Machine:
+    return Machine.build(cores=1, numa_nodes=1)
+
+
+@pytest.fixture
+def allocators(machine) -> KernelAllocators:
+    return KernelAllocators(machine)
+
+
+@pytest.fixture
+def iommu(machine) -> Iommu:
+    return Iommu(machine)
+
+
+@pytest.fixture
+def make_api(machine, allocators, iommu):
+    """Factory: build any protection scheme against the shared machine."""
+
+    counter = {"device": 0x100}
+
+    def _make(scheme: str, **kwargs):
+        counter["device"] += 1
+        return create_dma_api(
+            scheme, machine,
+            None if scheme == "no-iommu" else iommu,
+            device_id=counter["device"], allocators=allocators, **kwargs)
+
+    return _make

@@ -1,0 +1,52 @@
+"""Copy-hint tests (§5.4)."""
+
+from repro.core.hints import clamp_hint, full_copy_hint, ip_length_hint
+from repro.net.packets import build_frame
+
+
+class _BytesView:
+    def __init__(self, data: bytes):
+        self._data = data
+
+    def read(self, offset: int, size: int) -> bytes:
+        if offset < 0 or offset + size > len(self._data):
+            raise ValueError("out of range")
+        return self._data[offset:offset + size]
+
+
+def test_ip_length_hint_reads_total_length():
+    frame = build_frame(300)
+    view = _BytesView(frame.ljust(2048, b"\0"))
+    # eth header (14) + IP total length (340) = 354 = full frame length.
+    assert ip_length_hint(view, 2048) == len(frame)
+
+
+def test_ip_length_hint_small_buffer_falls_back():
+    view = _BytesView(b"tiny")
+    assert ip_length_hint(view, 4) == 4
+
+
+def test_ip_length_hint_clamps_hostile_length():
+    # A malicious device writes an absurd IP total length.
+    frame = bytearray(build_frame(64))
+    frame[16:18] = b"\xff\xff"
+    view = _BytesView(bytes(frame).ljust(1024, b"\0"))
+    assert ip_length_hint(view, 1024) == 1024  # clamped to buffer size
+
+
+def test_ip_length_hint_exception_falls_back():
+    class _Broken:
+        def read(self, offset, size):
+            raise RuntimeError("device yanked")
+
+    assert ip_length_hint(_Broken(), 777) == 777
+
+
+def test_clamp_hint():
+    assert clamp_hint(-1, 100) == 0
+    assert clamp_hint(50, 100) == 50
+    assert clamp_hint(1000, 100) == 100
+
+
+def test_full_copy_hint():
+    assert full_copy_hint(_BytesView(b""), 12345) == 12345

@@ -1,0 +1,110 @@
+"""Hybrid huge-buffer path edge cases (§5.5)."""
+
+import pytest
+
+from repro.dma.api import DmaDirection
+from repro.errors import IommuFault
+from repro.kalloc.slab import KBuffer
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def api(make_api):
+    return make_api("copy")
+
+
+def _aligned_huge(allocators, size):
+    buf = allocators.kmalloc(size, node=0)
+    assert buf.pa % PAGE_SIZE == 0
+    return buf
+
+
+def test_aligned_huge_buffer_has_no_head_or_tail(api, machine, allocators):
+    """A page-aligned, page-multiple buffer maps fully zero-copy — no
+    shadow acquisition at all, just the strict transient mapping."""
+    buf = _aligned_huge(allocators, 128 * 1024)
+    core = machine.core(0)
+    in_flight_before = api.pool.stats.in_flight
+    handle = api.dma_map(core, buf, DmaDirection.BIDIRECTIONAL)
+    assert api.pool.stats.in_flight == in_flight_before  # no shadows
+    data = bytes(range(256)) * 512
+    api.port().dma_write(handle.iova, data)
+    api.dma_unmap(core, handle)
+    assert machine.memory.read(buf.pa, len(data)) == data
+
+
+def test_head_only_hybrid(api, machine, allocators):
+    """Unaligned start + aligned end: a head shadow but no tail."""
+    backing = _aligned_huge(allocators, 192 * 1024)
+    size = 128 * 1024 - 100
+    buf = KBuffer(pa=backing.pa + 100, size=size, node=0)
+    core = machine.core(0)
+    before = api.pool.stats.in_flight
+    handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    assert api.pool.stats.in_flight == before + 1  # head shadow only
+    api.port().dma_write(handle.iova, b"H" * size)
+    api.dma_unmap(core, handle)
+    assert machine.memory.read(buf.pa, size) == b"H" * size
+    assert api.pool.stats.in_flight == before
+
+
+def test_tail_only_hybrid(api, machine, allocators):
+    backing = _aligned_huge(allocators, 192 * 1024)
+    size = 128 * 1024 + 100  # aligned start, ragged end
+    buf = KBuffer(pa=backing.pa, size=size, node=0)
+    core = machine.core(0)
+    before = api.pool.stats.in_flight
+    handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    assert api.pool.stats.in_flight == before + 1  # tail shadow only
+    api.port().dma_write(handle.iova, b"T" * size)
+    api.dma_unmap(core, handle)
+    assert machine.memory.read(buf.pa, size) == b"T" * size
+
+
+def test_hybrid_boundary_exactly_above_class_limit(api, machine, allocators):
+    """65 537 bytes is the smallest buffer that takes the hybrid path."""
+    at_limit = allocators.kmalloc(65536, node=0)
+    above = allocators.kmalloc(65537, node=0)
+    core = machine.core(0)
+    h1 = api.dma_map(core, at_limit, DmaDirection.TO_DEVICE)
+    assert api.hybrid_maps == 0
+    h2 = api.dma_map(core, above, DmaDirection.TO_DEVICE)
+    assert api.hybrid_maps == 1
+    api.dma_unmap(core, h1)
+    api.dma_unmap(core, h2)
+
+
+def test_hybrid_middle_is_genuinely_zero_copy(api, machine, allocators):
+    """Device writes to the middle land in the OS buffer immediately
+    (zero-copy), while head writes land in the shadow until unmap."""
+    backing = _aligned_huge(allocators, 192 * 1024)
+    buf = KBuffer(pa=backing.pa + 64, size=128 * 1024, node=0)
+    core = machine.core(0)
+    handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    # Middle of the buffer: page-aligned region mapped directly.
+    mid_off = 8 * PAGE_SIZE
+    api.port().dma_write(handle.iova + mid_off, b"middle")
+    assert machine.memory.read(buf.pa + mid_off, 6) == b"middle"
+    # Head: shadowed — invisible until unmap.
+    api.port().dma_write(handle.iova, b"head")
+    assert machine.memory.read(buf.pa, 4) != b"head"
+    api.dma_unmap(core, handle)
+    assert machine.memory.read(buf.pa, 4) == b"head"
+
+
+def test_hybrid_subpage_neighbours_protected(api, machine, allocators):
+    """Byte granularity at huge sizes: data next to the ragged head on
+    the same page never becomes device-visible."""
+    backing = _aligned_huge(allocators, 192 * 1024)
+    secret_off = 10
+    machine.memory.write(backing.pa + secret_off, b"SECRET-NEXT-DOOR")
+    buf = KBuffer(pa=backing.pa + 100, size=128 * 1024, node=0)
+    core = machine.core(0)
+    handle = api.dma_map(core, buf, DmaDirection.BIDIRECTIONAL)
+    # The device reads the first page of its range (head shadow page).
+    page = api.port().dma_read(handle.iova - 100, PAGE_SIZE)
+    assert b"SECRET-NEXT-DOOR" not in page
+    api.dma_unmap(core, handle)
+    # And the secret survived untouched.
+    assert machine.memory.read(backing.pa + secret_off, 16) \
+        == b"SECRET-NEXT-DOOR"

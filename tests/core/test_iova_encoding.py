@@ -1,0 +1,122 @@
+"""Shadow IOVA codec tests (Figure 2 layout)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.iova_encoding import ShadowIovaCodec
+from repro.errors import ConfigurationError
+from repro.iommu.page_table import Perm
+
+
+@pytest.fixture
+def codec():
+    return ShadowIovaCodec()
+
+
+def test_prototype_layout(codec):
+    """The paper's prototype: 7-bit core, 2-bit rights, 1-bit class,
+    37-bit index‖offset, MSB = shadow flag."""
+    iova = codec.encode(core_id=5, rights=Perm.RW, class_index=1,
+                        meta_index=3)
+    assert iova >> 47 == 1
+    assert (iova >> 40) & 0x7F == 5
+    assert (iova >> 38) & 0x3 == 0b11
+    assert (iova >> 37) & 0x1 == 1
+    # 64 KB class: index shifted by 16.
+    assert iova & ((1 << 37) - 1) == 3 << 16
+
+
+def test_roundtrip(codec):
+    iova = codec.encode(12, Perm.READ, 0, 77)
+    decoded = codec.decode(iova + 123)  # offset inside the 4 KB buffer
+    assert decoded.core_id == 12
+    assert decoded.rights is Perm.READ
+    assert decoded.class_index == 0
+    assert decoded.meta_index == 77
+    assert decoded.offset == 123
+
+
+def test_is_shadow(codec):
+    assert codec.is_shadow(codec.encode(0, Perm.WRITE, 0, 0))
+    assert not codec.is_shadow(0x7fffffff000)
+
+
+def test_decode_non_shadow_rejected(codec):
+    with pytest.raises(ConfigurationError):
+        codec.decode(0x1000)
+
+
+def test_decode_invalid_rights_rejected(codec):
+    iova = (1 << 47)  # rights bits 00
+    with pytest.raises(ConfigurationError):
+        codec.decode(iova)
+
+
+def test_index_capacity_matches_paper(codec):
+    # §5.3: a class of C bytes can index 2^(37 - log2 C) buffers.
+    assert codec.index_capacity(0) == 1 << 25   # 4 KB
+    assert codec.index_capacity(1) == 1 << 21   # 64 KB
+
+
+def test_class_for_size(codec):
+    assert codec.class_for_size(1) == 0
+    assert codec.class_for_size(4096) == 0
+    assert codec.class_for_size(4097) == 1
+    assert codec.class_for_size(65536) == 1
+    assert codec.class_for_size(65537) is None
+
+
+def test_encode_bounds(codec):
+    with pytest.raises(ConfigurationError):
+        codec.encode(128, Perm.READ, 0, 0)       # core id too wide
+    with pytest.raises(ConfigurationError):
+        codec.encode(0, Perm.NONE, 0, 0)         # unencodable rights
+    with pytest.raises(ConfigurationError):
+        codec.encode(0, Perm.READ, 2, 0)         # no such class
+    with pytest.raises(ConfigurationError):
+        codec.encode(0, Perm.READ, 1, 1 << 21)   # index overflow
+
+
+def test_custom_class_tables():
+    codec = ShadowIovaCodec((512, 4096, 65536, 1 << 20))
+    assert codec.class_bits == 2
+    iova = codec.encode(1, Perm.RW, 3, 5)
+    decoded = codec.decode(iova)
+    assert decoded.class_index == 3
+    assert decoded.meta_index == 5
+
+
+def test_invalid_class_tables():
+    with pytest.raises(ConfigurationError):
+        ShadowIovaCodec(())
+    with pytest.raises(ConfigurationError):
+        ShadowIovaCodec((4096, 1000))      # not a power of two
+    with pytest.raises(ConfigurationError):
+        ShadowIovaCodec((65536, 4096))     # not ascending
+
+
+def test_iovas_never_collide_across_lists(codec):
+    seen = set()
+    for core_id in range(4):
+        for rights in (Perm.READ, Perm.WRITE, Perm.RW):
+            for cls in (0, 1):
+                for idx in range(4):
+                    iova = codec.encode(core_id, rights, cls, idx)
+                    assert iova not in seen
+                    seen.add(iova)
+
+
+@given(core_id=st.integers(0, 127),
+       rights=st.sampled_from([Perm.READ, Perm.WRITE, Perm.RW]),
+       cls=st.integers(0, 1),
+       idx=st.integers(0, (1 << 21) - 1),
+       offset=st.integers(0, 4095))
+def test_roundtrip_property(core_id, rights, cls, idx, offset):
+    codec = ShadowIovaCodec()
+    if idx >= codec.index_capacity(cls):
+        return
+    iova = codec.encode(core_id, rights, cls, idx)
+    decoded = codec.decode(iova + offset)
+    assert (decoded.core_id, decoded.rights, decoded.class_index,
+            decoded.meta_index, decoded.offset) == (core_id, rights, cls,
+                                                    idx, offset)

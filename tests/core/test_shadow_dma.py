@@ -1,0 +1,211 @@
+"""ShadowDmaApi (the `copy` scheme) behaviour tests (§5.2, §5.4, §5.5)."""
+
+import pytest
+
+from repro.core.hints import ip_length_hint
+from repro.dma.api import DmaDirection
+from repro.errors import DmaApiError
+from repro.hw.cpu import CAT_COPY_MGMT, CAT_INVALIDATE, CAT_MEMCPY, CAT_PT_MGMT
+from repro.kalloc.slab import KBuffer
+from repro.net.packets import build_frame
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def api(make_api):
+    return make_api("copy")
+
+
+def test_map_copies_to_shadow(api, machine, allocators):
+    """TO_DEVICE: the device sees the data without reaching the OS buffer."""
+    core = machine.core(0)
+    buf = allocators.kmalloc(1500, node=0)
+    machine.memory.write(buf.pa, b"outbound-data")
+    handle = api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+    assert api.port().dma_read(handle.iova, 13) == b"outbound-data"
+    # It came from the shadow: mutating the OS buffer afterwards does not
+    # change what the device reads (the OS may not touch it anyway §2.2,
+    # but a *compromised* OS-side race must not be device-visible).
+    machine.memory.write(buf.pa, b"mutated-after")
+    assert api.port().dma_read(handle.iova, 13) == b"outbound-data"
+    api.dma_unmap(core, handle)
+
+
+def test_unmap_copies_back_from_shadow(api, machine, allocators):
+    core = machine.core(0)
+    buf = allocators.kmalloc(1500, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    api.port().dma_write(handle.iova, b"inbound")
+    # Not visible in the OS buffer until unmap (the copy-back).
+    assert machine.memory.read(buf.pa, 7) != b"inbound"
+    api.dma_unmap(core, handle)
+    assert machine.memory.read(buf.pa, 7) == b"inbound"
+
+
+def test_os_buffer_never_device_reachable(api, machine, allocators):
+    """The defining property: the device has *no* mapping to OS memory."""
+    from repro.errors import IommuFault
+
+    core = machine.core(0)
+    buf = allocators.kmalloc(1500, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.BIDIRECTIONAL)
+    with pytest.raises(IommuFault):
+        api.port().dma_read(buf.pa, 8)  # physical address as bus address
+    api.dma_unmap(core, handle)
+
+
+def test_no_invalidations_on_hot_path(api, machine, allocators, iommu):
+    core = machine.core(0)
+    before = iommu.invalidation_queue.sync_invalidations
+    for _ in range(20):
+        buf = allocators.kmalloc(1500, node=0)
+        handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+        api.dma_unmap(core, handle)
+        allocators.kfree(buf)
+    assert iommu.invalidation_queue.sync_invalidations == before
+    assert core.breakdown.get(CAT_INVALIDATE, 0) == 0
+
+
+def test_breakdown_categories(api, machine, allocators):
+    core = machine.core(0)
+    buf = allocators.kmalloc(1500, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.BIDIRECTIONAL)
+    api.dma_unmap(core, handle)
+    assert core.breakdown[CAT_COPY_MGMT] > 0
+    assert core.breakdown[CAT_MEMCPY] >= 2 * machine.cost.memcpy_cycles(1400)
+
+
+def test_rx_hint_limits_copy_back(api, machine, allocators):
+    """§5.4: an MTU-sized RX buffer holding a small packet copies only
+    the packet, as reported by the IP-length hint."""
+    core = machine.core(0)
+    api.register_copy_hint(DmaDirection.FROM_DEVICE, ip_length_hint)
+    buf = allocators.kmalloc(2048, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    frame = build_frame(100)  # 154-byte frame in a 2 KB buffer
+    api.port().dma_write(handle.iova, frame)
+    memcpy_before = core.breakdown.get(CAT_MEMCPY, 0)
+    api.dma_unmap(core, handle)
+    copied_cycles = core.breakdown[CAT_MEMCPY] - memcpy_before
+    assert copied_cycles <= machine.cost.memcpy_cycles(len(frame)) + 5
+    assert machine.memory.read(buf.pa, len(frame)) == frame
+
+
+def test_malicious_hint_is_clamped(api, machine, allocators):
+    """A hint driven by hostile device data cannot enlarge the copy."""
+    core = machine.core(0)
+    api.register_copy_hint(DmaDirection.FROM_DEVICE,
+                           lambda view, size: 10 ** 9)
+    buf = allocators.kmalloc(1024, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    api.port().dma_write(handle.iova, b"x" * 1024)
+    api.dma_unmap(core, handle)  # must not copy beyond the buffer
+    assert machine.memory.read(buf.pa, 1024) == b"x" * 1024
+
+
+def test_negative_hint_clamped_to_zero(api, machine, allocators):
+    core = machine.core(0)
+    api.register_copy_hint(DmaDirection.FROM_DEVICE,
+                           lambda view, size: -5)
+    buf = allocators.kmalloc(512, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+    memcpy_before = core.breakdown.get(CAT_MEMCPY, 0)
+    api.dma_unmap(core, handle)
+    assert core.breakdown.get(CAT_MEMCPY, 0) == memcpy_before
+
+
+def test_hint_registration_validation(api):
+    with pytest.raises(DmaApiError):
+        api.register_copy_hint(DmaDirection.BIDIRECTIONAL, ip_length_hint)
+
+
+def test_hybrid_path_used_for_huge_buffers(api, machine, allocators):
+    core = machine.core(0)
+    big = allocators.kmalloc(200 * 1024, node=0)
+    handle = api.dma_map(core, big, DmaDirection.TO_DEVICE)
+    assert api.hybrid_maps == 1
+    assert not api.pool.codec.is_shadow(handle.iova)  # fallback space
+    api.dma_unmap(core, handle)
+
+
+def test_hybrid_unaligned_roundtrip(api, machine, allocators):
+    core = machine.core(0)
+    backing = allocators.kmalloc(300 * 1024, node=0)
+    buf = KBuffer(pa=backing.pa + 1234, size=150 * 1024, node=0)
+    data = bytes(range(256)) * 600
+    machine.memory.write(buf.pa, data)
+    handle = api.dma_map(core, buf, DmaDirection.BIDIRECTIONAL)
+    assert api.port().dma_read(handle.iova, len(data)) == data
+    api.port().dma_write(handle.iova, data[::-1])
+    api.dma_unmap(core, handle)
+    assert machine.memory.read(buf.pa, len(data)) == data[::-1]
+
+
+def test_hybrid_unmap_is_strict(api, machine, allocators, iommu):
+    """§5.5: the transient middle mapping is destroyed with a synchronous
+    IOTLB invalidation — no window."""
+    from repro.errors import IommuFault
+
+    core = machine.core(0)
+    big = allocators.kmalloc(128 * 1024, node=0)
+    handle = api.dma_map(core, big, DmaDirection.FROM_DEVICE)
+    api.port().dma_write(handle.iova, b"fill")  # cache the translation
+    before = iommu.invalidation_queue.sync_invalidations
+    api.dma_unmap(core, handle)
+    assert iommu.invalidation_queue.sync_invalidations == before + 1
+    with pytest.raises(IommuFault):
+        api.port().dma_write(handle.iova, b"late")
+
+
+def test_hybrid_charges_pt_mgmt(api, machine, allocators):
+    core = machine.core(0)
+    big = allocators.kmalloc(128 * 1024, node=0)
+    pt_before = core.breakdown.get(CAT_PT_MGMT, 0)
+    handle = api.dma_map(core, big, DmaDirection.TO_DEVICE)
+    api.dma_unmap(core, handle)
+    assert core.breakdown[CAT_PT_MGMT] - pt_before >= \
+        32 * machine.cost.pt_map_cycles
+
+
+def test_hybrid_disabled_rejects_huge(make_api, machine, allocators):
+    api = make_api("copy", hybrid_huge_buffers=False)
+    core = machine.core(0)
+    big = allocators.kmalloc(128 * 1024, node=0)
+    with pytest.raises(DmaApiError):
+        api.dma_map(core, big, DmaDirection.TO_DEVICE)
+
+
+def test_hybrid_copies_only_head_and_tail(api, machine, allocators):
+    """§5.5: copy cost is bounded by two sub-page fragments, not the
+    whole buffer."""
+    core = machine.core(0)
+    backing = allocators.kmalloc(300 * 1024, node=0)
+    buf = KBuffer(pa=backing.pa + 100, size=200 * 1024, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+    memcpy = core.breakdown.get(CAT_MEMCPY, 0)
+    assert memcpy <= machine.cost.memcpy_cycles(2 * PAGE_SIZE)
+    api.dma_unmap(core, handle)
+
+
+def test_remote_numa_copy_costs_more(make_api, machine, allocators):
+    api = make_api("copy")
+    core0 = machine.core(0)          # node 0
+    buf_remote = allocators.kmalloc(4096, node=1)
+    buf_local = allocators.kmalloc(4096, node=0)
+    h = api.dma_map(core0, buf_local, DmaDirection.TO_DEVICE)
+    local_cost = core0.breakdown.get(CAT_MEMCPY, 0)
+    api.dma_unmap(core0, h)
+    core1 = machine.core(1)          # also node 0
+    h = api.dma_map(core1, buf_remote, DmaDirection.TO_DEVICE)
+    remote_cost = core1.breakdown.get(CAT_MEMCPY, 0)
+    api.dma_unmap(core1, h)
+    assert remote_cost > local_cost
+
+
+def test_find_shadow_cross_check(api, machine, allocators):
+    core = machine.core(0)
+    buf = allocators.kmalloc(1000, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+    meta = api.pool.find_shadow(core, handle.iova)
+    assert meta.os_buf is buf
+    api.dma_unmap(core, handle)

@@ -1,0 +1,258 @@
+"""Shadow buffer pool tests (§5.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.shadow_pool import ShadowBufferPool
+from repro.errors import ConfigurationError, PoolExhaustedError
+from repro.hw.locks import SpinLock
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Iommu
+from repro.iommu.page_table import Perm
+from repro.iova.allocators import MagazineIovaAllocator
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.sim.units import PAGE_SIZE
+
+
+def make_pool(cores=4, nodes=2, **kwargs):
+    machine = Machine.build(cores=cores, numa_nodes=nodes)
+    allocators = KernelAllocators(machine)
+    iommu = Iommu(machine)
+    domain = iommu.attach_device(1)
+    fallback = MagazineIovaAllocator(machine.cost, cores,
+                                     SpinLock("depot", machine.cost))
+    pool = ShadowBufferPool(machine, iommu, domain, allocators, fallback,
+                            **kwargs)
+    return machine, iommu, pool
+
+
+def os_buf(pa=0x100000, size=1500):
+    return KBuffer(pa=pa, size=size, node=0)
+
+
+def test_acquire_release_reuse():
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    meta = pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+    assert meta.size == 4096
+    assert meta.os_buf is not None
+    pool.release_shadow(core, meta)
+    assert meta.os_buf is None
+    again = pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+    assert again is meta  # recycled from the free list
+    pool.release_shadow(core, again)
+
+
+def test_shadow_is_permanently_mapped():
+    machine, iommu, pool = make_pool()
+    core = machine.core(0)
+    meta = pool.acquire_shadow(core, os_buf(), 1000, Perm.RW)
+    domain = pool.domain
+    entry = domain.page_table.lookup(meta.iova >> 12)
+    assert entry is not None
+    assert entry.pa == meta.pa
+    pool.release_shadow(core, meta)
+    # Still mapped after release — that is the whole point.
+    assert domain.page_table.lookup(meta.iova >> 12) is not None
+
+
+def test_find_shadow_o1(pool=None):
+    machine, _, pool = make_pool()
+    core = machine.core(2)
+    metas = [pool.acquire_shadow(core, os_buf(size=s), s, Perm.READ)
+             for s in (100, 5000, 60000)]
+    for meta in metas:
+        assert pool.find_shadow(core, meta.iova) is meta
+        # Offsets inside the buffer resolve to the same metadata.
+        assert pool.find_shadow(core, meta.iova + meta.size - 1) is meta
+
+
+def test_size_class_selection():
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    small = pool.acquire_shadow(core, os_buf(), 4096, Perm.READ)
+    big = pool.acquire_shadow(core, os_buf(), 4097, Perm.READ)
+    assert small.size == 4096
+    assert big.size == 65536
+
+
+def test_oversize_request_rejected():
+    machine, _, pool = make_pool()
+    with pytest.raises(PoolExhaustedError):
+        pool.acquire_shadow(machine.core(0), os_buf(), 65537, Perm.READ)
+
+
+def test_invalid_rights_rejected():
+    machine, _, pool = make_pool()
+    with pytest.raises(ConfigurationError):
+        pool.acquire_shadow(machine.core(0), os_buf(), 100, Perm.NONE)
+
+
+def test_per_core_lists_are_distinct():
+    machine, _, pool = make_pool()
+    a = pool.acquire_shadow(machine.core(0), os_buf(), 100, Perm.READ)
+    b = pool.acquire_shadow(machine.core(1), os_buf(), 100, Perm.READ)
+    assert a.owner_core == 0
+    assert b.owner_core == 1
+    assert a.iova != b.iova
+
+
+def test_rights_get_separate_lists():
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    r = pool.acquire_shadow(core, os_buf(), 100, Perm.READ)
+    w = pool.acquire_shadow(core, os_buf(), 100, Perm.WRITE)
+    assert r.rights is Perm.READ
+    assert w.rights is Perm.WRITE
+    assert (r.pa >> 12) != (w.pa >> 12)  # never share a page
+
+
+def test_numa_local_allocation():
+    machine, _, pool = make_pool(cores=4, nodes=2)
+    far_core = machine.core(3)  # node 1
+    meta = pool.acquire_shadow(far_core, os_buf(), 100, Perm.READ)
+    assert machine.memory.node_of(meta.pa) == 1
+    assert meta.domain_node == 1
+
+
+def test_sticky_release_returns_to_owner():
+    """§5.3: a remote release returns the buffer to its *owner's* list."""
+    machine, _, pool = make_pool()
+    owner, remote = machine.core(0), machine.core(3)
+    meta = pool.acquire_shadow(owner, os_buf(), 100, Perm.READ)
+    iova = meta.iova
+    pool.release_shadow(remote, meta)
+    assert pool.stats.remote_releases == 1
+    again = pool.acquire_shadow(owner, os_buf(), 100, Perm.READ)
+    assert again.iova == iova  # same buffer, same mapping
+    assert again.owner_core == 0
+
+
+def test_nonsticky_migration_changes_owner_and_mapping():
+    machine, iommu, pool = make_pool(sticky=False)
+    owner, remote = machine.core(0), machine.core(3)
+    meta = pool.acquire_shadow(owner, os_buf(), 100, Perm.READ)
+    old_iova = meta.iova
+    inv_before = iommu.invalidation_queue.sync_invalidations
+    pool.release_shadow(remote, meta)
+    # Migration had to invalidate the old mapping (the §5.3 cost).
+    assert iommu.invalidation_queue.sync_invalidations == inv_before + 1
+    migrated = pool.acquire_shadow(remote, os_buf(), 100, Perm.READ)
+    assert migrated.owner_core == 3
+    assert migrated.iova != old_iova
+    assert migrated.pa == meta.pa  # same memory, re-encoded
+
+
+def test_subpage_class_carves_page_into_private_cache():
+    machine, _, pool = make_pool(size_classes=(512, 4096, 65536))
+    core = machine.core(0)
+    first = pool.acquire_shadow(core, os_buf(), 200, Perm.READ)
+    assert first.size == 512
+    # One page was carved into 8 buffers: 1 returned + 7 cached.
+    assert pool.stats.buffers_allocated == 8
+    others = [pool.acquire_shadow(core, os_buf(), 200, Perm.READ)
+              for _ in range(7)]
+    # All from the same page, no new page allocation.
+    assert pool.stats.grows == 1
+    pages = {m.pa >> 12 for m in [first] + others}
+    assert len(pages) == 1
+
+
+def test_page_rights_invariant_holds():
+    machine, _, pool = make_pool(size_classes=(512, 4096))
+    core = machine.core(0)
+    metas = []
+    for rights in (Perm.READ, Perm.WRITE, Perm.RW):
+        for _ in range(5):
+            metas.append(pool.acquire_shadow(core, os_buf(), 300, rights))
+    for meta in metas:
+        pool.release_shadow(core, meta)
+    assert pool.check_page_rights_invariant()
+
+
+def test_memory_limit_enforced():
+    machine, _, pool = make_pool(max_pool_bytes=3 * PAGE_SIZE)
+    core = machine.core(0)
+    for _ in range(3):
+        pool.acquire_shadow(core, os_buf(), 4096, Perm.READ)
+    with pytest.raises(PoolExhaustedError):
+        pool.acquire_shadow(core, os_buf(), 4096, Perm.READ)
+
+
+def test_fallback_when_metadata_array_full():
+    """§5.3: when the encoded index space is exhausted, fall back to
+    kmalloc'd metadata + external IOVAs (MSB clear) + hash lookup."""
+    machine, _, pool = make_pool(cores=1, nodes=1,
+                                 max_buffers_per_class=2)
+    core = machine.core(0)
+    metas = [pool.acquire_shadow(core, os_buf(), 4096, Perm.READ)
+             for _ in range(4)]
+    fallback = [m for m in metas if m.fallback]
+    encoded = [m for m in metas if not m.fallback]
+    assert len(encoded) == 2
+    assert len(fallback) == 2
+    for m in fallback:
+        assert not pool.codec.is_shadow(m.iova)
+        assert pool.find_shadow(core, m.iova) is m
+    assert pool.stats.fallback_allocations == 2
+
+
+def test_shrink_frees_and_unmaps():
+    machine, iommu, pool = make_pool()
+    core = machine.core(0)
+    metas = [pool.acquire_shadow(core, os_buf(), 4096, Perm.READ)
+             for _ in range(4)]
+    for meta in metas:
+        pool.release_shadow(core, meta)
+    inv_before = iommu.invalidation_queue.sync_invalidations
+    freed = pool.shrink(core)
+    assert freed == 4 * PAGE_SIZE
+    assert iommu.invalidation_queue.sync_invalidations == inv_before + 4
+    assert pool.free_buffer_count() == 0
+    # The unmapped IOVAs no longer resolve.
+    assert pool.domain.page_table.lookup(metas[0].iova >> 12) is None
+
+
+def test_occupancy_stats_track_in_flight():
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    metas = [pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+             for _ in range(10)]
+    assert pool.stats.in_flight == 10
+    assert pool.stats.peak_in_flight == 10
+    for meta in metas[:6]:
+        pool.release_shadow(core, meta)
+    assert pool.stats.in_flight == 4
+    assert pool.stats.peak_in_flight == 10
+    assert pool.stats.bytes_allocated == 10 * PAGE_SIZE
+
+
+def test_find_unknown_iova_rejected():
+    machine, _, pool = make_pool()
+    with pytest.raises(PoolExhaustedError):
+        pool.find_shadow(machine.core(0), 0x7f0000000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(
+    st.tuples(st.integers(0, 3),
+              st.sampled_from([Perm.READ, Perm.WRITE, Perm.RW]),
+              st.integers(1, 65536), st.booleans()),
+    min_size=1, max_size=60))
+def test_pool_invariants_property(ops):
+    """Property: arbitrary acquire/release interleavings keep the
+    same-rights-per-page invariant and exact in-flight accounting."""
+    machine, _, pool = make_pool()
+    live = []
+    for core_id, rights, size, release_remote in ops:
+        core = machine.core(core_id)
+        if len(live) < 30:
+            live.append(pool.acquire_shadow(core, os_buf(size=size),
+                                            size, rights))
+        elif live:
+            releaser = machine.core(3 if release_remote else 0)
+            pool.release_shadow(releaser, live.pop())
+        assert pool.stats.in_flight == len(live)
+    assert pool.check_page_rights_invariant()
+    iovas = [m.iova for m in live]
+    assert len(set(iovas)) == len(iovas)

@@ -1,0 +1,109 @@
+"""Timestamp lock and shared-resource model tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.cpu import CAT_SPINLOCK, Core
+from repro.hw.locks import NullLock, SharedResource, SpinLock
+from repro.sim.costmodel import CostModel
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+def _cores(n):
+    return [Core(cid=i, numa_node=0) for i in range(n)]
+
+
+def test_uncontended_acquire_is_cheap(cost):
+    (a,) = _cores(1)
+    lock = SpinLock("l", cost)
+    lock.acquire(a)
+    assert a.busy_cycles == cost.lock_uncontended_cycles
+    lock.release(a)
+    assert lock.stats.contended_acquisitions == 0
+
+
+def test_contended_acquire_spins(cost):
+    a, b = _cores(2)
+    lock = SpinLock("l", cost)
+    lock.acquire(a)
+    a.charge(1000)           # critical section
+    lock.release(a)
+    # b arrives "earlier" in its local time and must spin to free_at.
+    lock.acquire(b)
+    assert b.now >= 1000 + cost.lock_uncontended_cycles
+    assert b.breakdown[CAT_SPINLOCK] > 0
+    assert lock.stats.contended_acquisitions == 1
+    assert lock.stats.total_wait_cycles >= 1000
+    lock.release(b)
+
+
+def test_serialization_chain(cost):
+    """N cores passing the lock serialize: total span ≥ N × hold."""
+    cores = _cores(4)
+    lock = SpinLock("l", cost)
+    hold = 500
+    for c in cores:
+        lock.acquire(c)
+        c.charge(hold)
+        lock.release(c)
+    assert cores[-1].now >= 4 * hold
+
+
+def test_recursive_acquire_rejected(cost):
+    (a,) = _cores(1)
+    lock = SpinLock("l", cost)
+    lock.acquire(a)
+    with pytest.raises(SimulationError):
+        lock.acquire(a)
+
+
+def test_release_by_non_holder_rejected(cost):
+    a, b = _cores(2)
+    lock = SpinLock("l", cost)
+    lock.acquire(a)
+    with pytest.raises(SimulationError):
+        lock.release(b)
+
+
+def test_hold_time_recorded(cost):
+    (a,) = _cores(1)
+    lock = SpinLock("l", cost)
+    lock.acquire(a)
+    a.charge(777)
+    lock.release(a)
+    assert lock.stats.total_hold_cycles == 777
+    assert not lock.held
+
+
+def test_null_lock_is_free():
+    (a,) = _cores(1)
+    lock = NullLock()
+    lock.acquire(a)
+    lock.release(a)
+    assert a.now == 0
+    assert lock.stats.acquisitions == 1
+    assert not lock.held
+
+
+def test_mean_wait(cost):
+    stats = SpinLock("l", cost).stats
+    assert stats.mean_wait_cycles == 0.0
+
+
+def test_shared_resource_serializes():
+    hw = SharedResource("inv-hw")
+    end1 = hw.occupy(start=0, service_cycles=100)
+    assert end1 == 100
+    # A request arriving at t=50 queues behind the first.
+    end2 = hw.occupy(start=50, service_cycles=100)
+    assert end2 == 200
+    assert hw.queue_delay_cycles == 50
+    # A request arriving after the resource idles starts immediately.
+    end3 = hw.occupy(start=500, service_cycles=10)
+    assert end3 == 510
+    assert hw.completions == 3
+    assert hw.total_service_cycles == 210

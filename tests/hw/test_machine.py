@@ -1,0 +1,78 @@
+"""Machine topology tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.machine import Machine
+from repro.sim.costmodel import CostModel
+
+
+def test_default_topology_matches_testbed():
+    """§6: dual-socket, 8 cores per socket, 2 NUMA domains."""
+    m = Machine.build()
+    assert m.num_cores == 16
+    assert m.num_nodes == 2
+    assert [c.numa_node for c in m.cores] == [0] * 8 + [1] * 8
+
+
+def test_block_distribution_odd():
+    m = Machine.build(cores=6, numa_nodes=2)
+    assert [c.numa_node for c in m.cores] == [0, 0, 0, 1, 1, 1]
+
+
+def test_single_node():
+    m = Machine.build(cores=3, numa_nodes=1)
+    assert all(c.numa_node == 0 for c in m.cores)
+    assert len(m.nodes[0].cores) == 3
+
+
+def test_invalid_configs():
+    with pytest.raises(ConfigurationError):
+        Machine.build(cores=0)
+    with pytest.raises(ConfigurationError):
+        Machine.build(cores=2, numa_nodes=3)
+    with pytest.raises(ConfigurationError):
+        Machine.build(cores=2, numa_nodes=0)
+
+
+def test_wall_clock_and_sync():
+    m = Machine.build(cores=3, numa_nodes=1)
+    m.core(0).charge(100)
+    m.core(2).charge(400)
+    assert m.wall_clock() == 400
+    t = m.sync_clocks()
+    assert t == 400
+    assert all(c.now == 400 for c in m.cores)
+    # Busy time was not affected by the idle sync.
+    assert m.core(1).busy_cycles == 0
+
+
+def test_sync_to_explicit_time():
+    m = Machine.build(cores=2, numa_nodes=1)
+    m.sync_clocks(1000)
+    assert all(c.now == 1000 for c in m.cores)
+
+
+def test_reset_accounting():
+    m = Machine.build(cores=2, numa_nodes=1)
+    m.core(0).charge(50)
+    m.reset_accounting()
+    assert m.core(0).busy_cycles == 0
+    assert m.core(0).now == 50
+
+
+def test_custom_cost_model():
+    cost = CostModel(rx_parse_cycles=1)
+    m = Machine.build(cores=1, numa_nodes=1, cost=cost)
+    assert m.cost.rx_parse_cycles == 1
+
+
+def test_node_of_core():
+    m = Machine.build(cores=4, numa_nodes=2)
+    assert m.node_of_core(0) == 0
+    assert m.node_of_core(3) == 1
+
+
+def test_memory_matches_nodes():
+    m = Machine.build(cores=4, numa_nodes=2)
+    assert m.memory.num_nodes == 2

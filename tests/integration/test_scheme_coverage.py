@@ -1,0 +1,76 @@
+"""Every scheme must survive the real workloads, with sane orderings."""
+
+import pytest
+
+from repro.dma.registry import ALL_SCHEMES
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+#: Schemes that can run line-rate networking in this suite.  The
+#: self-invalidating scheme needs a generous budget configured for ring
+#: traffic, handled in its dedicated test below.
+STREAM_SCHEMES = [s for s in ALL_SCHEMES if s != "self-invalidating"]
+
+
+@pytest.mark.parametrize("scheme", STREAM_SCHEMES)
+def test_rx_stream_runs_for_every_scheme(scheme):
+    r = run_tcp_stream_rx(StreamConfig(
+        scheme=scheme, message_size=16384, cores=1,
+        units_per_core=200, warmup_units=40))
+    assert r.units == 200
+    assert 0 < r.throughput_gbps <= 40
+    assert 0 < r.cpu_utilization <= 1.0
+
+
+def test_rx_stream_self_invalidating():
+    r = run_tcp_stream_rx(StreamConfig(
+        scheme="self-invalidating", message_size=16384, cores=1,
+        units_per_core=200, warmup_units=40,
+        scheme_kwargs={"dma_budget": 1 << 20, "lifetime_us": 1e9}))
+    assert r.units == 200
+    assert r.throughput_gbps > 0
+
+
+def test_single_core_ordering_across_all_schemes():
+    """The full single-core RX throughput ordering at 64 KB messages:
+    nothing protected beats no-iommu; copy beats every zero-copy IOMMU
+    scheme; strict schemes trail their deferred variants; Linux trails
+    the scalable allocators."""
+    results = {}
+    for scheme in STREAM_SCHEMES:
+        results[scheme] = run_tcp_stream_rx(StreamConfig(
+            scheme=scheme, message_size=65536, cores=1,
+            units_per_core=300, warmup_units=60)).throughput_gbps
+
+    assert max(results.values()) == results["no-iommu"]
+    for scheme, gbps in results.items():
+        if scheme in ("no-iommu", "swiotlb", "copy"):
+            continue
+        assert results["copy"] > gbps, f"copy should beat {scheme}"
+    for kind in ("linux", "eiovar", "magazine", "identity"):
+        assert results[f"{kind}-deferred"] > results[f"{kind}-strict"]
+    assert results["identity-strict"] > results["linux-strict"]
+    assert results["identity-deferred"] > results["linux-deferred"]
+
+
+def test_swiotlb_costs_track_copy():
+    """SWIOTLB pays copy-like costs (it bounces the same data) but lands
+    somewhat below DMA shadowing: it has no copy-hint machinery (it
+    bounces the full mapped size, as the Linux original does) and takes
+    a global pool lock per map/unmap."""
+    copy = run_tcp_stream_rx(StreamConfig(
+        scheme="copy", message_size=65536, cores=1,
+        units_per_core=300, warmup_units=60)).throughput_gbps
+    swiotlb = run_tcp_stream_rx(StreamConfig(
+        scheme="swiotlb", message_size=65536, cores=1,
+        units_per_core=300, warmup_units=60)).throughput_gbps
+    assert 0.70 * copy <= swiotlb < copy
+
+
+def test_swiotlb_global_lock_hurts_multicore():
+    """SWIOTLB's single pool lock shows at 8 cores where copy does not."""
+    kw = dict(message_size=16384, cores=8, units_per_core=150,
+              warmup_units=30)
+    copy = run_tcp_stream_rx(StreamConfig(scheme="copy", **kw))
+    swiotlb = run_tcp_stream_rx(StreamConfig(scheme="swiotlb", **kw))
+    # Both may reach line rate, but SWIOTLB burns more CPU doing it.
+    assert swiotlb.busy_cycles > copy.busy_cycles

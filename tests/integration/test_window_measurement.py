@@ -1,0 +1,115 @@
+"""Vulnerability-window duration measurement (deferred protection).
+
+The paper (§3) observes that under deferred protection "buffers can
+remain mapped for up to 10 milliseconds".  The deferred schemes here
+measure the actual unmap→flush delay of every batched invalidation, so
+the window's size becomes a quantity, not an anecdote.
+"""
+
+import pytest
+
+from repro.dma.api import DmaDirection
+from repro.sim.costmodel import CostModel
+from repro.sim.units import us_to_cycles
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+from repro.dma.registry import create_dma_api
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Iommu
+from repro.kalloc.slab import KernelAllocators
+
+
+def _bench(scheme="identity-deferred", cost=None):
+    machine = Machine.build(cores=2, numa_nodes=1, cost=cost)
+    ka = KernelAllocators(machine)
+    iommu = Iommu(machine)
+    api = create_dma_api(scheme, machine, iommu, 1, ka)
+    return machine, ka, api
+
+
+def test_window_samples_recorded_on_batch_flush():
+    machine, ka, api = _bench()
+    core = machine.core(0)
+    batch = machine.cost.deferred_batch_size
+    for _ in range(batch):
+        buf = ka.kmalloc(4096, node=0)
+        handle = api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+        api.dma_unmap(core, handle)
+        ka.kfree(buf)
+        core.charge(1000)  # spacing between unmaps
+    assert len(api.window_samples) == batch
+    # FIFO: the first unmap waited the longest.
+    assert max(api.window_samples) == api.window_samples[0]
+    assert min(api.window_samples) >= 0
+
+
+def test_window_bounded_by_timeout():
+    """An idle deferred queue flushes by the 10 ms timer: the window of
+    a lone unmap is bounded by (roughly) the timeout."""
+    machine, ka, api = _bench()
+    core = machine.core(0)
+    buf = ka.kmalloc(4096, node=0)
+    handle = api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+    api.dma_unmap(core, buf and handle)
+    core.charge(us_to_cycles(10_500.0))
+    # The next unmap trips the timeout flush.
+    buf2 = ka.kmalloc(4096, node=0)
+    h2 = api.dma_map(core, buf2, DmaDirection.TO_DEVICE)
+    api.dma_unmap(core, h2)
+    assert api.window_samples, "timeout flush did not record windows"
+    assert max(api.window_samples) >= us_to_cycles(10_000.0)
+    assert max(api.window_samples) <= us_to_cycles(11_500.0)
+
+
+def test_window_under_live_traffic_is_batch_bound():
+    """At line-rate RX the window is set by how long 250 unmaps take —
+    far below 10 ms, but hundreds of packets wide."""
+    machine_cost = CostModel()
+    r = run_tcp_stream_rx(StreamConfig(
+        scheme="identity-deferred", message_size=16384, cores=1,
+        units_per_core=1000, warmup_units=100, cost=machine_cost))
+    # Recover the api's samples through extras?  The harness tears the
+    # system down; instead verify via a handmade run below.
+    machine, ka, api = _bench(cost=machine_cost)
+    core = machine.core(0)
+    per_packet = us_to_cycles(1.0)
+    for _ in range(600):
+        buf = ka.kmalloc(4096, node=0)
+        handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+        core.charge(per_packet)
+        api.dma_unmap(core, handle)
+        ka.kfree(buf)
+    assert len(api.window_samples) >= 500
+    mean_window = sum(api.window_samples) / len(api.window_samples)
+    batch_time = machine_cost.deferred_batch_size * per_packet
+    # Mean window ≈ half the batch duration (uniform position in batch).
+    assert 0.3 * batch_time <= mean_window <= 0.8 * batch_time
+
+
+def test_smaller_batches_shrink_the_window():
+    small_cost = CostModel(deferred_batch_size=10)
+    machine, ka, api = _bench(cost=small_cost)
+    core = machine.core(0)
+    for _ in range(200):
+        buf = ka.kmalloc(4096, node=0)
+        handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+        core.charge(2400)
+        api.dma_unmap(core, handle)
+        ka.kfree(buf)
+    small_mean = sum(api.window_samples) / len(api.window_samples)
+
+    big_cost = CostModel(deferred_batch_size=250)
+    machine, ka, api = _bench(cost=big_cost)
+    core = machine.core(0)
+    for _ in range(600):
+        buf = ka.kmalloc(4096, node=0)
+        handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+        core.charge(2400)
+        api.dma_unmap(core, handle)
+        ka.kfree(buf)
+    big_mean = sum(api.window_samples) / len(api.window_samples)
+    assert big_mean > 10 * small_mean
+
+
+def test_strict_scheme_has_no_window_samples():
+    machine, ka, api = _bench(scheme="identity-strict")
+    assert not hasattr(api, "window_samples")

@@ -1,0 +1,79 @@
+"""Cross-domain isolation properties of the IOMMU model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import IommuFault
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Iommu, TranslatingDmaPort
+from repro.iommu.page_table import Perm
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def iommu():
+    return Iommu(Machine.build(cores=2, numa_nodes=1))
+
+
+def test_domains_cannot_use_each_others_mappings(iommu):
+    d1 = iommu.attach_device(1)
+    d2 = iommu.attach_device(2)
+    iommu.map_range(d1, 0x10000, 0x40000, PAGE_SIZE, Perm.RW)
+    iommu.translate(d1, 0x10000, is_write=True)
+    with pytest.raises(IommuFault):
+        iommu.translate(d2, 0x10000, is_write=True)
+
+
+def test_iotlb_entries_are_domain_tagged(iommu):
+    """A cached translation for one domain must not serve another — even
+    for the *same* IOVA page."""
+    d1 = iommu.attach_device(1)
+    d2 = iommu.attach_device(2)
+    iommu.map_range(d1, 0x10000, 0x40000, PAGE_SIZE, Perm.RW)
+    iommu.map_range(d2, 0x10000, 0x90000, PAGE_SIZE, Perm.RW)
+    assert iommu.translate(d1, 0x10000, is_write=False).pa == 0x40000
+    assert iommu.translate(d2, 0x10000, is_write=False).pa == 0x90000
+
+
+def test_domain_invalidation_leaves_other_domains(iommu):
+    d1 = iommu.attach_device(1)
+    d2 = iommu.attach_device(2)
+    iommu.map_range(d1, 0x10000, 0x40000, PAGE_SIZE, Perm.RW)
+    iommu.map_range(d2, 0x10000, 0x90000, PAGE_SIZE, Perm.RW)
+    iommu.translate(d1, 0x10000, is_write=False)
+    iommu.translate(d2, 0x10000, is_write=False)
+    core = iommu.machine.core(0)
+    iommu.invalidation_queue.invalidate_domain_sync(core, d1.domain_id)
+    assert not iommu.iotlb.contains(d1.domain_id, 0x10)
+    assert iommu.iotlb.contains(d2.domain_id, 0x10)
+
+
+def test_ports_are_domain_bound(iommu):
+    d1 = iommu.attach_device(1)
+    d2 = iommu.attach_device(2)
+    iommu.map_range(d1, 0x10000, 0x40000, PAGE_SIZE, Perm.RW)
+    p1 = TranslatingDmaPort(iommu, d1)
+    p2 = TranslatingDmaPort(iommu, d2)
+    p1.dma_write(0x10000, b"mine")
+    with pytest.raises(IommuFault):
+        p2.dma_write(0x10000, b"not mine")
+    assert iommu.machine.memory.read(0x40000, 4) == b"mine"
+
+
+@settings(max_examples=25, deadline=None)
+@given(pages=st.lists(st.tuples(st.integers(1, 2), st.integers(1, 200)),
+                      min_size=1, max_size=40, unique=True))
+def test_random_mappings_never_leak_across_domains(pages):
+    iommu = Iommu(Machine.build(cores=1, numa_nodes=1))
+    d = {1: iommu.attach_device(1), 2: iommu.attach_device(2)}
+    mapped = set()
+    for dev, page in pages:
+        iommu.map_range(d[dev], page << 12, (0x1000 + page) << 12,
+                        PAGE_SIZE, Perm.RW)
+        mapped.add((dev, page))
+    for dev, page in mapped:
+        other = 2 if dev == 1 else 1
+        assert iommu.translate(d[dev], page << 12, is_write=True)
+        if (other, page) not in mapped:
+            with pytest.raises(IommuFault):
+                iommu.translate(d[other], page << 12, is_write=True)

@@ -1,0 +1,128 @@
+"""Invalidation queue tests: functional removal + the contention model."""
+
+import pytest
+
+from repro.hw.cpu import CAT_INVALIDATE, Core
+from repro.hw.locks import SpinLock
+from repro.iommu.invalidation import InvalidationQueue, PendingInvalidation
+from repro.iommu.iotlb import Iotlb
+from repro.iommu.page_table import Perm, PteEntry
+from repro.sim.costmodel import CostModel
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+def make_queue(cost, with_lock=True):
+    tlb = Iotlb()
+    lock = SpinLock("qi", cost) if with_lock else None
+    return tlb, InvalidationQueue(tlb, cost, lock)
+
+
+def test_sync_invalidation_removes_entries(cost):
+    tlb, q = make_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    tlb.insert(1, 10, PteEntry(1, Perm.RW))
+    q.invalidate_sync(core, 1, 10)
+    assert not tlb.contains(1, 10)
+    assert q.sync_invalidations == 1
+
+
+def test_sync_invalidation_charges_invalidate_category(cost):
+    _, q = make_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    q.invalidate_sync(core, 1, 10)
+    # Submit + hardware latency + completion poll.
+    expected_min = (cost.invq_submit_cycles
+                    + cost.iotlb_invalidation_cycles
+                    + cost.invq_wait_poll_cycles)
+    assert core.breakdown[CAT_INVALIDATE] >= expected_min
+
+
+def test_single_core_latency_is_idle_latency(cost):
+    _, q = make_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    for _ in range(20):
+        core.charge(10_000)  # spread out: no concurrency
+        q.invalidate_sync(core, 1, 1)
+    # The per-invalidation charge should stay near the idle latency.
+    per = core.breakdown[CAT_INVALIDATE] / 20
+    assert per <= cost.iotlb_invalidation_latency(1) * 1.6
+
+
+def test_concurrent_submitters_degrade_latency(cost):
+    """Fig. 8a: invalidation latency grows under multicore pressure."""
+    _, q = make_queue(cost)
+    cores = [Core(cid=i, numa_node=0) for i in range(16)]
+    # Interleave submissions from 16 cores in a tight window.
+    for _ in range(4):
+        for core in cores:
+            q.invalidate_sync(core, 1, 1)
+    assert q.current_concurrency(cores[0]) >= 12
+    latency = cost.iotlb_invalidation_latency(
+        q.current_concurrency(cores[0]))
+    assert latency >= 3 * cost.iotlb_invalidation_cycles
+
+
+def test_concurrency_window_expires(cost):
+    _, q = make_queue(cost)
+    cores = [Core(cid=i, numa_node=0) for i in range(8)]
+    for core in cores:
+        q.invalidate_sync(core, 1, 1)
+    lone = cores[0]
+    lone.charge(10_000_000)  # far in the future
+    assert q.current_concurrency(lone) == 1
+
+
+def test_lock_serializes_submissions(cost):
+    _, q = make_queue(cost)
+    a = Core(cid=0, numa_node=0)
+    b = Core(cid=1, numa_node=0)
+    q.invalidate_sync(a, 1, 1)
+    q.invalidate_sync(b, 1, 2)
+    # b could not start before a's completion.
+    assert b.now >= a.now - cost.invq_wait_poll_cycles
+    assert q.lock.stats.acquisitions == 2
+
+
+def test_flush_batch_invalidates_globally(cost):
+    tlb, q = make_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    for page in range(5):
+        tlb.insert(1, page, PteEntry(page, Perm.RW))
+    pending = [PendingInvalidation(1, p, 1, 0) for p in range(3)]
+    q.flush_batch(core, pending)
+    # Linux's deferred flush is one *global* invalidation.
+    assert len(tlb) == 0
+    assert q.batch_flushes == 1
+    assert tlb.stats.global_invalidations == 1
+
+
+def test_flush_empty_batch_is_noop(cost):
+    _, q = make_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    q.flush_batch(core, [])
+    assert q.batch_flushes == 0
+    assert core.busy_cycles == 0
+
+
+def test_domain_invalidation(cost):
+    tlb, q = make_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    tlb.insert(1, 1, PteEntry(1, Perm.RW))
+    tlb.insert(2, 1, PteEntry(2, Perm.RW))
+    q.invalidate_domain_sync(core, 1)
+    assert not tlb.contains(1, 1)
+    assert tlb.contains(2, 1)
+
+
+def test_hardware_is_serialized_resource(cost):
+    _, q = make_queue(cost, with_lock=False)
+    a = Core(cid=0, numa_node=0)
+    b = Core(cid=1, numa_node=0)
+    q.invalidate_sync(a, 1, 1)
+    q.invalidate_sync(b, 1, 2)  # no lock, but hardware still serializes
+    assert q.hardware.completions == 2
+    assert b.now > cost.iotlb_invalidation_cycles

@@ -1,0 +1,92 @@
+"""IOTLB cache tests."""
+
+import pytest
+
+from repro.iommu.iotlb import Iotlb
+from repro.iommu.page_table import Perm, PteEntry
+
+
+def entry(pfn):
+    return PteEntry(pfn=pfn, perm=Perm.RW)
+
+
+def test_miss_then_hit():
+    tlb = Iotlb()
+    assert tlb.lookup(1, 100) is None
+    tlb.insert(1, 100, entry(7))
+    assert tlb.lookup(1, 100).pfn == 7
+    assert tlb.stats.misses == 1
+    assert tlb.stats.hits == 1
+    assert tlb.stats.hit_rate == pytest.approx(0.5)
+
+
+def test_domains_are_isolated():
+    tlb = Iotlb()
+    tlb.insert(1, 100, entry(7))
+    assert tlb.lookup(2, 100) is None
+
+
+def test_lru_eviction():
+    tlb = Iotlb(capacity=2)
+    tlb.insert(1, 1, entry(1))
+    tlb.insert(1, 2, entry(2))
+    tlb.lookup(1, 1)              # touch 1 → 2 becomes LRU
+    tlb.insert(1, 3, entry(3))    # evicts 2
+    assert tlb.contains(1, 1)
+    assert not tlb.contains(1, 2)
+    assert tlb.contains(1, 3)
+    assert tlb.stats.evictions == 1
+
+
+def test_invalidate_pages_range():
+    tlb = Iotlb()
+    for page in range(10):
+        tlb.insert(1, page, entry(page))
+    removed = tlb.invalidate_pages(1, 2, npages=3)
+    assert removed == 3
+    assert not tlb.contains(1, 3)
+    assert tlb.contains(1, 5)
+    assert tlb.stats.invalidations == 1
+
+
+def test_invalidate_missing_pages_counts_zero():
+    tlb = Iotlb()
+    assert tlb.invalidate_pages(1, 99, 4) == 0
+
+
+def test_invalidate_domain():
+    tlb = Iotlb()
+    tlb.insert(1, 1, entry(1))
+    tlb.insert(2, 1, entry(2))
+    assert tlb.invalidate_domain(1) == 1
+    assert not tlb.contains(1, 1)
+    assert tlb.contains(2, 1)
+
+
+def test_invalidate_all():
+    tlb = Iotlb()
+    for page in range(5):
+        tlb.insert(3, page, entry(page))
+    assert tlb.invalidate_all() == 5
+    assert len(tlb) == 0
+    assert tlb.stats.global_invalidations == 1
+
+
+def test_contains_does_not_perturb():
+    tlb = Iotlb()
+    tlb.insert(1, 1, entry(1))
+    tlb.contains(1, 2)
+    assert tlb.stats.misses == 0
+
+
+def test_insert_updates_existing():
+    tlb = Iotlb(capacity=4)
+    tlb.insert(1, 1, entry(1))
+    tlb.insert(1, 1, entry(9))
+    assert tlb.lookup(1, 1).pfn == 9
+    assert len(tlb) == 1
+
+
+def test_bad_capacity_rejected():
+    with pytest.raises(ValueError):
+        Iotlb(capacity=0)

@@ -1,0 +1,180 @@
+"""IOVA allocator tests: identity, Linux tree, EiovaR, magazines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, IovaExhaustedError
+from repro.hw.cpu import Core
+from repro.hw.locks import SpinLock
+from repro.iova.allocators import (
+    EiovaRAllocator,
+    IdentityIovaAllocator,
+    LinuxIovaAllocator,
+    MagazineIovaAllocator,
+)
+from repro.sim.costmodel import CostModel
+from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+@pytest.fixture
+def core():
+    return Core(cid=0, numa_node=0)
+
+
+def test_identity_returns_physical_page(cost, core):
+    alloc = IdentityIovaAllocator(cost)
+    iova = alloc.alloc(2, core, pa=0x1234567000)
+    assert iova == 0x1234567000
+    alloc.free(iova, 2, core)
+    assert core.busy_cycles > 0
+
+
+def test_linux_ranges_do_not_overlap(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    spans = []
+    for npages in (1, 3, 2, 5, 1):
+        iova = alloc.alloc(npages, core, 0)
+        size = npages << PAGE_SHIFT
+        for s, e in spans:
+            assert iova + size <= s or iova >= e
+        spans.append((iova, iova + size))
+
+
+def test_linux_iovas_in_lower_half(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    iova = alloc.alloc(1, core, 0)
+    assert iova < (1 << 47)
+    assert iova % PAGE_SIZE == 0
+
+
+def test_linux_free_and_reuse(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    iova = alloc.alloc(4, core, 0)
+    alloc.free(iova, 4, core)
+    assert alloc.alloc(4, core, 0) == iova  # recycled exact-size range
+
+
+def test_linux_double_free_rejected(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    iova = alloc.alloc(1, core, 0)
+    alloc.free(iova, 1, core)
+    with pytest.raises(IovaExhaustedError):
+        alloc.free(iova, 1, core)
+
+
+def test_linux_free_wrong_size_rejected(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    iova = alloc.alloc(2, core, 0)
+    with pytest.raises(IovaExhaustedError):
+        alloc.free(iova, 3, core)
+
+
+def test_linux_zero_pages_rejected(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    with pytest.raises(ConfigurationError):
+        alloc.alloc(0, core, 0)
+
+
+def test_eiovar_caches_freed_ranges(cost, core):
+    alloc = EiovaRAllocator(cost)
+    iova = alloc.alloc(1, core, 0)
+    alloc.free(iova, 1, core)
+    again = alloc.alloc(1, core, 0)
+    assert again == iova
+    assert alloc.cache_hits == 1
+    assert alloc.cache_misses == 1
+
+
+def test_eiovar_distinct_sizes_distinct_buckets(cost, core):
+    alloc = EiovaRAllocator(cost)
+    a = alloc.alloc(1, core, 0)
+    alloc.free(a, 1, core)
+    b = alloc.alloc(2, core, 0)  # cache miss: different size class
+    assert b != a
+    assert alloc.cache_misses == 2
+
+
+def test_magazine_no_duplicate_ranges(cost):
+    """Regression: a magazine refill must hand out *distinct* ranges
+    (an early bug returned the same range repeatedly)."""
+    alloc = MagazineIovaAllocator(cost, num_cores=2)
+    core = Core(cid=0, numa_node=0)
+    iovas = [alloc.alloc(1, core, 0) for _ in range(200)]
+    assert len(set(iovas)) == 200
+
+
+def test_magazine_reuses_after_free(cost):
+    alloc = MagazineIovaAllocator(cost, num_cores=2)
+    core = Core(cid=0, numa_node=0)
+    iova = alloc.alloc(1, core, 0)
+    alloc.free(iova, 1, core)
+    assert alloc.alloc(1, core, 0) == iova
+
+
+def test_magazine_per_core_isolation(cost):
+    alloc = MagazineIovaAllocator(cost, num_cores=2)
+    a = Core(cid=0, numa_node=0)
+    b = Core(cid=1, numa_node=0)
+    ia = alloc.alloc(1, a, 0)
+    ib = alloc.alloc(1, b, 0)
+    assert ia != ib
+    alloc.free(ia, 1, a)
+    alloc.free(ib, 1, b)
+
+
+def test_magazine_drain_on_overflow(cost):
+    alloc = MagazineIovaAllocator(cost, num_cores=1, magazine_size=4)
+    core = Core(cid=0, numa_node=0)
+    iovas = [alloc.alloc(1, core, 0) for _ in range(12)]
+    for iova in iovas:
+        alloc.free(iova, 1, core)  # overflows the size-4 magazine
+    # All ranges remain allocatable exactly once.
+    again = [alloc.alloc(1, core, 0) for _ in range(12)]
+    assert len(set(again)) == 12
+
+
+def test_magazine_free_unknown_rejected(cost):
+    alloc = MagazineIovaAllocator(cost, num_cores=1)
+    core = Core(cid=0, numa_node=0)
+    with pytest.raises(IovaExhaustedError):
+        alloc.free(0x1000, 1, core)
+
+
+def test_locked_allocators_serialize(cost):
+    lock = SpinLock("iova", cost)
+    alloc = LinuxIovaAllocator(cost, lock)
+    a = Core(cid=0, numa_node=0)
+    b = Core(cid=1, numa_node=0)
+    alloc.alloc(1, a, 0)
+    alloc.alloc(1, b, 0)
+    assert lock.stats.acquisitions == 2
+    assert b.now >= cost.iova_rbtree_cycles  # waited for a's hold
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(st.tuples(st.booleans(), st.integers(1, 8)),
+                    min_size=1, max_size=100))
+def test_allocator_nonoverlap_property(ops):
+    """Property: live ranges from any allocator never overlap, for any
+    alloc/free interleaving."""
+    cost = CostModel()
+    core = Core(cid=0, numa_node=0)
+    for alloc in (LinuxIovaAllocator(cost), EiovaRAllocator(cost),
+                  MagazineIovaAllocator(cost, num_cores=1)):
+        live = {}
+        for do_alloc, npages in ops:
+            if do_alloc:
+                iova = alloc.alloc(npages, core, 0)
+                size = npages << PAGE_SHIFT
+                for o_iova, o_size in live.items():
+                    assert iova + size <= o_iova or iova >= o_iova + o_size
+                live[iova] = size
+            elif live:
+                iova, size = next(iter(live.items()))
+                alloc.free(iova, size >> PAGE_SHIFT, core)
+                del live[iova]

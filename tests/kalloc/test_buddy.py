@@ -1,0 +1,182 @@
+"""Buddy allocator tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KallocError
+from repro.kalloc.buddy import BuddyAllocator
+from repro.sim.costmodel import CostModel
+from repro.sim.units import PAGE_SIZE
+
+
+def make_buddy(pages=256, base=0):
+    return BuddyAllocator(base, pages * PAGE_SIZE, CostModel())
+
+
+def test_basic_alloc_free():
+    b = make_buddy()
+    pa = b.alloc_pages(0)
+    assert pa % PAGE_SIZE == 0
+    assert b.allocated_pages == 1
+    b.free_pages(pa)
+    assert b.allocated_pages == 0
+
+
+def test_alignment_by_order():
+    b = make_buddy()
+    for order in range(5):
+        pa = b.alloc_pages(order)
+        assert pa % ((1 << order) * PAGE_SIZE) == 0
+
+
+def test_blocks_do_not_overlap():
+    b = make_buddy(64)
+    spans = []
+    for order in (0, 1, 2, 3, 0, 2, 1):
+        pa = b.alloc_pages(order)
+        size = (1 << order) * PAGE_SIZE
+        for s, e in spans:
+            assert pa + size <= s or pa >= e
+        spans.append((pa, pa + size))
+
+
+def test_coalescing_restores_large_blocks():
+    b = make_buddy(16)
+    # Exhaust with order-0, free all, then a max-size block must fit.
+    pas = [b.alloc_pages(0) for _ in range(16)]
+    with pytest.raises(KallocError):
+        b.alloc_pages(0)
+    for pa in pas:
+        b.free_pages(pa)
+    big = b.alloc_pages(4)  # 16 pages — only possible after coalescing
+    assert big == 0
+
+
+def test_double_free_rejected():
+    b = make_buddy()
+    pa = b.alloc_pages(0)
+    b.free_pages(pa)
+    with pytest.raises(KallocError):
+        b.free_pages(pa)
+
+
+def test_free_of_unallocated_rejected():
+    b = make_buddy()
+    with pytest.raises(KallocError):
+        b.free_pages(PAGE_SIZE * 3)
+
+
+def test_free_unaligned_rejected():
+    b = make_buddy()
+    with pytest.raises(KallocError):
+        b.free_pages(123)
+
+
+def test_free_outside_region_rejected():
+    b = make_buddy(16)
+    with pytest.raises(KallocError):
+        b.free_pages(1 << 40)
+
+
+def test_exhaustion():
+    b = make_buddy(4)
+    b.alloc_pages(2)
+    with pytest.raises(KallocError):
+        b.alloc_pages(1)  # only 0 pages left... all 4 allocated
+    # The failure did not corrupt state.
+    assert b.allocated_pages == 4
+
+
+def test_bad_order_rejected():
+    b = make_buddy()
+    with pytest.raises(KallocError):
+        b.alloc_pages(-1)
+    with pytest.raises(KallocError):
+        b.alloc_pages(11)
+
+
+def test_non_power_of_two_region():
+    # 13 pages: seeded as 8 + 4 + 1 blocks.
+    b = make_buddy(13)
+    pas = [b.alloc_pages(0) for _ in range(13)]
+    assert len(set(pas)) == 13
+    with pytest.raises(KallocError):
+        b.alloc_pages(0)
+
+
+def test_base_offset_region():
+    base = 1 << 36
+    b = BuddyAllocator(base, 8 * PAGE_SIZE, CostModel())
+    pa = b.alloc_pages(0)
+    assert pa >= base
+    assert b.owns(pa)
+    assert not b.owns(base - PAGE_SIZE)
+
+
+def test_unaligned_base_rejected():
+    with pytest.raises(KallocError):
+        BuddyAllocator(100, PAGE_SIZE, CostModel())
+
+
+def test_tiny_region_rejected():
+    with pytest.raises(KallocError):
+        BuddyAllocator(0, 100, CostModel())
+
+
+def test_peak_tracking():
+    b = make_buddy()
+    a1 = b.alloc_pages(2)
+    a2 = b.alloc_pages(2)
+    b.free_pages(a1)
+    b.free_pages(a2)
+    assert b.peak_allocated_pages == 8
+    assert b.allocated_pages == 0
+
+
+def test_block_order_lookup():
+    b = make_buddy()
+    pa = b.alloc_pages(3)
+    assert b.block_order(pa) == 3
+    assert b.block_order(pa + PAGE_SIZE) is None
+    b.free_pages(pa)
+    assert b.block_order(pa) is None
+
+
+def test_charges_core():
+    from repro.hw.cpu import Core
+    core = Core(cid=0, numa_node=0)
+    b = make_buddy()
+    pa = b.alloc_pages(0, core)
+    b.free_pages(pa, core)
+    assert core.busy_cycles == (CostModel().page_alloc_cycles
+                                + CostModel().page_free_cycles)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 3)),
+                min_size=1, max_size=120))
+def test_random_sequences_preserve_invariants(ops):
+    """Property: any alloc/free interleaving keeps accounting consistent,
+    never hands out overlapping blocks, and frees always coalesce back."""
+    b = make_buddy(64)
+    live = {}  # pa -> order
+    for do_alloc, order in ops:
+        if do_alloc:
+            try:
+                pa = b.alloc_pages(order)
+            except KallocError:
+                continue
+            size = (1 << order) * PAGE_SIZE
+            for opa, oorder in live.items():
+                osize = (1 << oorder) * PAGE_SIZE
+                assert pa + size <= opa or pa >= opa + osize
+            live[pa] = order
+        elif live:
+            pa = next(iter(live))
+            b.free_pages(pa)
+            del live[pa]
+        assert b.allocated_pages == sum(1 << o for o in live.values())
+    for pa in list(live):
+        b.free_pages(pa)
+    assert b.allocated_pages == 0
+    assert b.free_pages_count == 64

@@ -1,0 +1,140 @@
+"""Slab (kmalloc) allocator tests — including the co-location property
+the paper's sub-page attack depends on (§4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KallocError
+from repro.hw.machine import Machine
+from repro.kalloc.buddy import BuddyAllocator
+from repro.kalloc.slab import SLAB_SIZE_CLASSES, KBuffer, KernelAllocators, SlabAllocator
+from repro.sim.costmodel import CostModel
+from repro.sim.units import PAGE_SIZE
+
+
+@pytest.fixture
+def slab():
+    buddy = BuddyAllocator(0, 1024 * PAGE_SIZE, CostModel())
+    return SlabAllocator(0, buddy, CostModel())
+
+
+def test_small_allocations_co_located(slab):
+    """Two small kmallocs land on the same 4 KB page — the property that
+    makes page-granular IOMMU mappings leak neighbouring data."""
+    a = slab.kmalloc(100)
+    b = slab.kmalloc(100)
+    assert a.first_page == b.first_page
+    assert a.pa != b.pa
+
+
+def test_neighbours_on_page(slab):
+    a = slab.kmalloc(512)
+    b = slab.kmalloc(512)
+    assert b.pa in slab.neighbours_on_page(a)
+    slab.kfree(b)
+    assert slab.neighbours_on_page(a) == []
+
+
+def test_size_class_rounding(slab):
+    a = slab.kmalloc(33)       # rounds to the 64-byte class
+    b = slab.kmalloc(64)
+    assert abs(a.pa - b.pa) % 64 == 0
+
+
+def test_distinct_classes_distinct_slabs(slab):
+    a = slab.kmalloc(64)
+    b = slab.kmalloc(1024)
+    assert a.first_page != b.first_page
+
+
+def test_objects_dont_overlap(slab):
+    bufs = [slab.kmalloc(256) for _ in range(40)]
+    spans = sorted((b.pa, b.pa + 256) for b in bufs)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+def test_reuse_after_free(slab):
+    a = slab.kmalloc(128)
+    slab.kfree(a)
+    b = slab.kmalloc(128)
+    assert b.pa == a.pa  # LIFO reuse from the cache
+
+
+def test_large_allocation_uses_pages(slab):
+    big = slab.kmalloc(3 * PAGE_SIZE)
+    assert big.pa % PAGE_SIZE == 0
+    assert slab.buddy.block_order(big.pa) == 2  # 4 pages for 3-page request
+    slab.kfree(big)
+    assert slab.buddy.block_order(big.pa) is None
+
+
+def test_large_allocation_exact_pages(slab):
+    big = slab.kmalloc(PAGE_SIZE)
+    assert slab.buddy.block_order(big.pa) == 0
+
+
+def test_kmalloc_64kb(slab):
+    big = slab.kmalloc(65536)
+    assert slab.buddy.block_order(big.pa) == 4  # 16 pages
+
+
+def test_kfree_unknown_rejected(slab):
+    with pytest.raises(KallocError):
+        slab.kfree(KBuffer(pa=0x123000, size=64, node=0))
+
+
+def test_kmalloc_zero_rejected(slab):
+    with pytest.raises(KallocError):
+        slab.kmalloc(0)
+
+
+def test_live_accounting(slab):
+    a = slab.kmalloc(64)
+    b = slab.kmalloc(PAGE_SIZE * 2)
+    assert slab.live_allocations == 2
+    slab.kfree(a)
+    slab.kfree(b)
+    assert slab.live_allocations == 0
+
+
+def test_kbuffer_helpers():
+    buf = KBuffer(pa=PAGE_SIZE + 100, size=200, node=1)
+    assert buf.end == PAGE_SIZE + 300
+    assert buf.first_page == 1
+    assert buf.last_page == 1
+    assert buf.page_offset() == 100
+
+
+def test_kernel_allocators_facade():
+    machine = Machine.build(cores=4, numa_nodes=2)
+    ka = KernelAllocators(machine)
+    a = ka.kmalloc(100, node=0)
+    b = ka.kmalloc(100, node=1)
+    assert machine.memory.node_of(a.pa) == 0
+    assert machine.memory.node_of(b.pa) == 1
+    ka.kfree(a)
+    ka.kfree(b)
+    pa = ka.alloc_pages(0, node=1)
+    assert machine.memory.node_of(pa) == 1
+    ka.free_pages(pa, node=1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(sizes=st.lists(st.integers(1, 4 * PAGE_SIZE), min_size=1,
+                      max_size=60))
+def test_no_overlap_property(sizes):
+    buddy = BuddyAllocator(0, 4096 * PAGE_SIZE, CostModel())
+    slab = SlabAllocator(0, buddy, CostModel())
+    live = [slab.kmalloc(s) for s in sizes]
+    spans = sorted((b.pa, b.pa + b.size) for b in live)
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert e1 <= s2, "allocations overlap"
+    for b in live:
+        slab.kfree(b)
+    assert slab.live_allocations == 0
+
+
+def test_size_classes_are_sorted():
+    assert list(SLAB_SIZE_CLASSES) == sorted(SLAB_SIZE_CLASSES)
+    assert all(c <= PAGE_SIZE // 2 for c in SLAB_SIZE_CLASSES)

@@ -1,0 +1,92 @@
+"""Frame construction/parsing tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.net.packets import (
+    HEADERS_LEN,
+    build_frame,
+    max_payload,
+    parse_frame,
+    segment_payload,
+)
+from repro.sim.units import ETH_MTU, TCP_MSS
+
+
+def test_build_parse_roundtrip():
+    frame = build_frame(500, src_port=1111, dst_port=2222, seq=42)
+    parsed = parse_frame(frame)
+    assert parsed.payload_len == 500
+    assert parsed.src_port == 1111
+    assert parsed.dst_port == 2222
+    assert parsed.seq == 42
+    assert parsed.frame_len == len(frame)
+
+
+def test_header_length():
+    assert len(build_frame(0)) == HEADERS_LEN == 54
+
+
+def test_max_payload_is_mss():
+    assert max_payload() == TCP_MSS == ETH_MTU - 40
+
+
+def test_payload_bytes_carried():
+    payload = bytes(range(200))
+    frame = build_frame(200, payload=payload)
+    assert frame[-200:] == payload
+
+
+def test_payload_length_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        build_frame(10, payload=b"longer than ten bytes")
+
+
+def test_oversized_payload_rejected():
+    with pytest.raises(ConfigurationError):
+        build_frame(max_payload() + 1)
+
+
+def test_custom_mtu_allows_lro_aggregates():
+    big = build_frame(10_000, mtu=16384)
+    assert parse_frame(big).payload_len == 10_000
+
+
+def test_parse_runt_rejected():
+    with pytest.raises(ConfigurationError):
+        parse_frame(b"short")
+
+
+def test_parse_wrong_ethertype_rejected():
+    frame = bytearray(build_frame(10))
+    frame[12:14] = b"\x86\xdd"  # IPv6
+    with pytest.raises(ConfigurationError):
+        parse_frame(bytes(frame))
+
+
+def test_segment_payload():
+    assert segment_payload(0) == []
+    assert segment_payload(100) == [100]
+    assert segment_payload(TCP_MSS) == [TCP_MSS]
+    assert segment_payload(TCP_MSS + 1) == [TCP_MSS, 1]
+    assert segment_payload(10 * TCP_MSS) == [TCP_MSS] * 10
+
+
+def test_segment_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        segment_payload(-1)
+
+
+@given(total=st.integers(0, 10 ** 7))
+def test_segment_conservation(total):
+    sizes = segment_payload(total)
+    assert sum(sizes) == total
+    assert all(0 < s <= TCP_MSS for s in sizes)
+    # Only the final segment may be partial.
+    assert all(s == TCP_MSS for s in sizes[:-1])
+
+
+@given(size=st.integers(0, max_payload()))
+def test_build_parse_property(size):
+    assert parse_frame(build_frame(size)).payload_len == size

@@ -1,0 +1,101 @@
+"""Cost-model calibration tests.
+
+These pin the constants the paper reports directly (§6, Figures 5/8):
+a drifting cost model would silently invalidate every benchmark shape,
+so the calibration points are asserted here.
+"""
+
+import pytest
+
+from repro.sim.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.sim.units import us_to_cycles
+
+
+@pytest.fixture
+def cost() -> CostModel:
+    return CostModel()
+
+
+def test_memcpy_1500B_matches_paper(cost):
+    # Fig. 5a: copying a 1500 B ethernet packet costs ≈0.11 µs.
+    us = cost.memcpy_cycles(1500) / 2400
+    assert 0.09 <= us <= 0.14
+
+
+def test_memcpy_64KB_matches_paper(cost):
+    # Fig. 5b: the 64 KB TSO copy costs ≈4.65 µs.
+    us = cost.memcpy_cycles(65536) / 2400
+    assert 4.2 <= us <= 5.1
+
+
+def test_memcpy_zero_and_negative(cost):
+    assert cost.memcpy_cycles(0) == 0
+    assert cost.memcpy_cycles(-5) == 0
+
+
+def test_memcpy_monotonic(cost):
+    values = [cost.memcpy_cycles(n) for n in (1, 64, 1500, 4096, 65536)]
+    assert values == sorted(values)
+
+
+def test_invalidation_idle_matches_paper(cost):
+    # §6: a single-core IOTLB invalidation takes ≈0.61 µs.
+    assert cost.iotlb_invalidation_latency(1) == us_to_cycles(0.61)
+
+
+def test_invalidation_16core_matches_paper(cost):
+    # Fig. 8a: ≈2.7 µs with 16 concurrent submitters.
+    us = cost.iotlb_invalidation_latency(16) / 2400
+    assert 2.3 <= us <= 3.1
+
+
+def test_invalidation_concurrency_clamped(cost):
+    assert (cost.iotlb_invalidation_latency(0)
+            == cost.iotlb_invalidation_latency(1))
+
+
+def test_invalidation_vs_copy_crossover(cost):
+    """The paper's headline: copying 1500 B is ≈5.5× cheaper than an
+    IOTLB invalidation (§6 'Single-core TCP throughput')."""
+    ratio = cost.iotlb_invalidation_latency(1) / cost.memcpy_cycles(1500)
+    assert 4.0 <= ratio <= 7.0
+
+
+def test_pollution_small_copies_free(cost):
+    assert cost.pollution_cycles(64) == 0
+    assert cost.pollution_cycles(cost.pollution_free_bytes) == 0
+
+
+def test_pollution_64KB_matches_paper(cost):
+    # Fig. 5b discussion: ≈2 µs of extra "other" time from the 64 KB copy.
+    us = cost.pollution_cycles(65536) / 2400
+    assert 1.5 <= us <= 2.8
+
+
+def test_page_table_costs_match_paper(cost):
+    # Fig. 5a: identity± spend 0.17 µs/packet on page-table management.
+    us = (cost.pt_map_cycles + cost.pt_unmap_cycles) / 2400
+    assert 0.15 <= us <= 0.19
+
+
+def test_pool_costs_match_paper(cost):
+    # Fig. 5a: 0.02 µs of shadow-buffer management per packet.
+    us = (cost.pool_acquire_cycles + cost.pool_release_cycles) / 2400
+    assert 0.015 <= us <= 0.03
+
+
+def test_deferred_parameters_match_linux(cost):
+    # §2.2.1: flush after 250 invalidations or 10 ms.
+    assert cost.deferred_batch_size == 250
+    assert cost.deferred_timeout_cycles == us_to_cycles(10_000.0)
+
+
+def test_cost_model_is_perturbable():
+    custom = CostModel(memcpy_bytes_per_cycle=2.0)
+    assert custom.memcpy_cycles(4096) > DEFAULT_COST_MODEL.memcpy_cycles(4096)
+    # The default instance is untouched.
+    assert DEFAULT_COST_MODEL.memcpy_bytes_per_cycle == 5.8
+
+
+def test_us_helper(cost):
+    assert cost.us(2400) == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Scheduler edge cases: exceptions, mixed task kinds, tie-breaking."""
+
+import pytest
+
+from repro.hw.cpu import Core
+from repro.sim.engine import UNIT_DONE, CoreTask, GeneratorTask, Scheduler
+
+
+def _core(cid=0):
+    return Core(cid=cid, numa_node=0)
+
+
+def test_step_exception_propagates():
+    def bad_step(core):
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError, match="boom"):
+        Scheduler([CoreTask(core=_core(), step=bad_step)]).run()
+
+
+def test_generator_exception_propagates():
+    def gen(core):
+        core.charge(10)
+        yield
+        raise ValueError("mid-stream failure")
+
+    with pytest.raises(ValueError, match="mid-stream"):
+        Scheduler([GeneratorTask(core=_core(), gen=gen(_core()))]).run()
+
+
+def test_mixed_task_kinds_interleave():
+    a, b = _core(0), _core(1)
+    trace = []
+
+    def step(core):
+        trace.append(("step", core.cid))
+        core.charge(100)
+        return len([t for t in trace if t[0] == "step"]) < 3
+
+    def gen(core):
+        for i in range(3):
+            trace.append(("gen", core.cid))
+            core.charge(100)
+            yield UNIT_DONE
+
+    gen_task = GeneratorTask(core=b, gen=gen(b))
+    Scheduler([CoreTask(core=a, step=step), gen_task]).run()
+    assert gen_task.units_done == 3
+    # Both task kinds made progress in alternation.
+    kinds = [kind for kind, _ in trace[:4]]
+    assert set(kinds) == {"step", "gen"}
+
+
+def test_tie_break_is_fifo_stable():
+    """Equal clocks resolve in insertion order (deterministic runs)."""
+    cores = [_core(i) for i in range(3)]
+    first_picks = []
+
+    def make(core):
+        def step(c):
+            first_picks.append(c.cid)
+            c.charge(10)
+            return False
+        return step
+
+    Scheduler([CoreTask(core=c, step=make(c)) for c in cores]).run()
+    assert first_picks == [0, 1, 2]
+
+
+def test_empty_generator_is_fine():
+    def gen(core):
+        return
+        yield  # pragma: no cover
+
+    task = GeneratorTask(core=_core(), gen=gen(_core()))
+    assert Scheduler([task]).run() == 1
+    assert task.units_done == 0
+
+
+def test_idle_only_generator():
+    core = _core()
+
+    def gen(c):
+        c.advance_to(5000)
+        yield UNIT_DONE
+
+    Scheduler([GeneratorTask(core=core, gen=gen(core))]).run()
+    assert core.now == 5000
+    assert core.busy_cycles == 0

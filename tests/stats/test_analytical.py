@@ -1,0 +1,80 @@
+"""Analytical model tests — including simulation cross-validation."""
+
+import pytest
+
+from repro.sim.costmodel import CostModel
+from repro.stats.analytical import (
+    copy_invalidate_breakeven_bytes,
+    predict_all_rx,
+    predict_rx,
+    strict_saturation_gbps,
+)
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+
+@pytest.fixture
+def cost():
+    return CostModel()
+
+
+def test_predictions_order_matches_paper(cost):
+    preds = predict_all_rx(cost)
+    assert (preds["no-iommu"].total_cycles
+            < preds["copy"].total_cycles
+            < preds["identity-deferred"].total_cycles
+            < preds["identity-strict"].total_cycles)
+
+
+def test_prediction_ratios_match_paper(cost):
+    preds = predict_all_rx(cost)
+    copy_rel = (preds["no-iommu"].total_cycles
+                / preds["copy"].total_cycles)
+    strict_rel = (preds["copy"].throughput_gbps()
+                  / preds["identity-strict"].throughput_gbps())
+    assert 0.70 <= copy_rel <= 0.82          # paper: 0.76×
+    assert 1.7 <= strict_rel <= 2.3          # paper: 2×
+
+
+@pytest.mark.parametrize("scheme", ("no-iommu", "copy",
+                                    "identity-deferred",
+                                    "identity-strict"))
+def test_simulation_matches_analysis(cost, scheme):
+    """The DES and the closed-form per-packet sum must agree when nothing
+    contends (single core, large messages)."""
+    predicted = predict_rx(cost, scheme).throughput_gbps()
+    measured = run_tcp_stream_rx(StreamConfig(
+        scheme=scheme, message_size=65536, cores=1,
+        units_per_core=500, warmup_units=80)).throughput_gbps
+    assert measured == pytest.approx(predicted, rel=0.07)
+
+
+def test_breakeven_size_single_core(cost):
+    """Single-core break-even between copying and invalidating sits in
+    the few-KB range — which is why MTU packets (1.5 KB) favour copy."""
+    breakeven = copy_invalidate_breakeven_bytes(cost)
+    assert 4096 <= breakeven <= 16384
+    assert breakeven > 1500  # the paper's headline case
+
+
+def test_breakeven_grows_with_contention(cost):
+    """§1: under multicore contention 'even larger copies, such as
+    64 KB, [become] profitable'."""
+    single = copy_invalidate_breakeven_bytes(cost, concurrency=1)
+    contended = copy_invalidate_breakeven_bytes(cost, concurrency=16)
+    assert contended > 3 * single
+    assert contended >= 30_000
+
+
+def test_strict_saturation_matches_simulation(cost):
+    """The lock-bound ceiling predicts the Fig. 6 collapse plateau."""
+    predicted = strict_saturation_gbps(cost, cores=16)
+    measured = run_tcp_stream_rx(StreamConfig(
+        scheme="identity-strict", message_size=16384, cores=16,
+        units_per_core=150, warmup_units=40)).throughput_gbps
+    assert measured == pytest.approx(predicted, rel=0.25)
+    assert predicted < 6.0  # the collapse is real
+
+
+def test_unknown_scheme_rejected(cost):
+    with pytest.raises(ValueError):
+        predict_rx(cost, "swiotlb")

@@ -1,0 +1,73 @@
+"""CSV/JSON export tests."""
+
+import csv
+import io
+import json
+
+from repro.stats.export import result_to_row, to_csv, to_json, write_csv, write_json
+from repro.stats.results import RunResult
+from repro.sim.units import seconds_to_cycles
+
+
+def sample(scheme="copy", size=1024):
+    wall = seconds_to_cycles(0.001)
+    r = RunResult(scheme=scheme, workload="tcp_stream_rx",
+                  params={"message_size": size, "cores": 1},
+                  units=100, payload_bytes=10 ** 6, wall_cycles=wall,
+                  busy_cycles=wall // 2, cores=1)
+    r.breakdown_cycles = {"memcpy": wall // 4, "other": wall // 4}
+    return r
+
+
+def test_row_shape():
+    row = result_to_row(sample())
+    assert row["scheme"] == "copy"
+    assert row["param_message_size"] == 1024
+    assert row["us_memcpy"] > 0
+    assert row["us_spinlock"] == 0
+    assert row["latency_us"] is None
+
+
+def test_csv_roundtrip():
+    text = to_csv([sample("copy"), sample("no-iommu", 64)])
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[0]["scheme"] == "copy"
+    assert rows[1]["param_message_size"] == "64"
+    assert float(rows[0]["throughput_gbps"]) == 8.0
+
+
+def test_json_roundtrip():
+    parsed = json.loads(to_json([sample()]))
+    assert parsed[0]["workload"] == "tcp_stream_rx"
+    assert parsed[0]["cpu_utilization"] == 0.5
+
+
+def test_heterogeneous_params_union_columns():
+    a = sample()
+    b = RunResult(scheme="copy", workload="memcached",
+                  params={"value_size": 1024})
+    b.transactions_per_sec = 1.0e6
+    rows = list(csv.DictReader(io.StringIO(to_csv([a, b]))))
+    assert "param_message_size" in rows[0]
+    assert "param_value_size" in rows[0]
+    assert rows[1]["param_message_size"] == ""
+
+
+def test_file_writers(tmp_path):
+    csv_path = tmp_path / "out.csv"
+    json_path = tmp_path / "out.json"
+    write_csv([sample()], str(csv_path))
+    write_json([sample()], str(json_path))
+    assert csv_path.read_text().startswith("scheme,")
+    assert json.loads(json_path.read_text())
+
+
+def test_live_result_exports():
+    from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+    r = run_tcp_stream_rx(StreamConfig(scheme="copy", message_size=4096,
+                                       units_per_core=80, warmup_units=20))
+    row = result_to_row(r)
+    assert row["throughput_gbps"] > 0
+    assert row["us_memcpy"] > 0

@@ -1,0 +1,81 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(argv)
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_schemes_lists_everything(capsys):
+    code, out = run_cli(capsys, "schemes")
+    assert code == 0
+    for name in ("no-iommu", "copy", "identity-strict", "swiotlb",
+                 "self-invalidating"):
+        assert name in out
+
+
+def test_audit_all(capsys):
+    code, out = run_cli(capsys, "audit")
+    assert code == 0
+    assert "copy (shadow buffers)" in out
+    assert "match the schemes' claims" in out
+
+
+def test_audit_single_scheme(capsys):
+    code, out = run_cli(capsys, "audit", "--scheme", "identity-")
+    assert code == 0
+    assert "identity-" in out
+
+
+def test_stream_rx(capsys):
+    code, out = run_cli(capsys, "stream", "--scheme", "copy",
+                        "--size", "16384", "--units", "150")
+    assert code == 0
+    assert "Gb/s" in out
+    assert "tcp_stream_rx" in out
+    assert "shadow pool" in out
+
+
+def test_stream_tx_with_alias(capsys):
+    code, out = run_cli(capsys, "stream", "--scheme", "identity+",
+                        "--direction", "tx", "--size", "65536",
+                        "--units", "100")
+    assert code == 0
+    assert "tcp_stream_tx" in out
+    assert "invalidations" in out
+
+
+def test_rr(capsys):
+    code, out = run_cli(capsys, "rr", "--scheme", "no-iommu",
+                        "--size", "64", "--transactions", "50")
+    assert code == 0
+    assert "mean latency" in out
+
+
+def test_memcached(capsys):
+    code, out = run_cli(capsys, "memcached", "--scheme", "copy",
+                        "--cores", "2", "--transactions", "80")
+    assert code == 0
+    assert "transactions/s" in out
+
+
+def test_storage(capsys):
+    code, out = run_cli(capsys, "storage", "--scheme", "copy",
+                        "--block-size", "262144", "--ops", "60")
+    assert code == 0
+    assert "transactions/s" in out
+
+
+def test_unknown_scheme_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["stream", "--scheme", "bogus"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

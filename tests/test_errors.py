@@ -1,0 +1,52 @@
+"""Exception-hierarchy tests: everything the library raises is catchable
+as ReproError, with informative payloads."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    assert issubclass(errors.ConfigurationError, errors.ReproError)
+    assert issubclass(errors.KallocError, errors.AllocationError)
+    assert issubclass(errors.IovaExhaustedError, errors.AllocationError)
+    assert issubclass(errors.PoolExhaustedError, errors.AllocationError)
+    assert issubclass(errors.AllocationError, errors.ReproError)
+    assert issubclass(errors.IommuFault, errors.ReproError)
+    assert issubclass(errors.DmaApiError, errors.ReproError)
+    assert issubclass(errors.DmaApiUsageError, errors.DmaApiError)
+    assert issubclass(errors.SecurityViolation, errors.ReproError)
+    assert issubclass(errors.SimulationError, errors.ReproError)
+    assert issubclass(errors.MemoryAccessError, errors.ReproError)
+
+
+def test_iommu_fault_payload():
+    fault = errors.IommuFault(7, 0xdead000, is_write=True, reason="test")
+    assert fault.device_id == 7
+    assert fault.iova == 0xdead000
+    assert fault.is_write
+    assert "write" in str(fault)
+    assert "0xdead000" in str(fault)
+
+
+def test_iommu_fault_read_default_reason():
+    fault = errors.IommuFault(1, 0x1000, is_write=False)
+    assert "read" in str(fault)
+    assert fault.reason == "no mapping"
+
+
+def test_library_raises_only_repro_errors():
+    """A representative misuse sweep: every failure is a ReproError."""
+    from repro.hw.machine import Machine
+    from repro.kalloc.slab import KernelAllocators, KBuffer
+
+    machine = Machine.build(cores=1, numa_nodes=1)
+    ka = KernelAllocators(machine)
+    with pytest.raises(errors.ReproError):
+        ka.kmalloc(-1)
+    with pytest.raises(errors.ReproError):
+        ka.kfree(KBuffer(pa=0xbad000, size=8, node=0))
+    with pytest.raises(errors.ReproError):
+        machine.memory.read(1 << 60, 1)
+    with pytest.raises(errors.ReproError):
+        Machine.build(cores=0)

@@ -1,0 +1,32 @@
+"""Every example in examples/ must run cleanly (quick smoke)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+EXAMPLES = sorted(f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py"))
+
+#: Heavier campaigns get longer (but still bounded) budgets.
+TIMEOUTS = {"netperf_campaign.py": 240, "memcached_demo.py": 240}
+
+
+def test_examples_are_present():
+    assert len(EXAMPLES) >= 3, "the repository promises >= 3 examples"
+    assert "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True, text=True,
+        timeout=TIMEOUTS.get(example, 120),
+        env={**os.environ, "REPRO_CORES": "2"},
+    )
+    assert result.returncode == 0, (
+        f"{example} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{example} produced no output"

@@ -1,0 +1,84 @@
+"""memcached workload tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.memcached import KeyValueStore, MemcachedConfig, run_memcached
+
+
+def small(**kw):
+    defaults = dict(cores=4, transactions_per_core=100,
+                    warmup_transactions=20)
+    defaults.update(kw)
+    return MemcachedConfig(**defaults)
+
+
+def test_kv_store_set_get():
+    store = KeyValueStore()
+    store.set(b"k", b"v")
+    assert store.get(b"k") == b"v"
+    assert store.get(b"missing") is None
+    assert store.hits == 1
+    assert store.misses == 1
+    assert len(store) == 1
+
+
+def test_kv_store_eviction_bounds_size():
+    store = KeyValueStore(max_items=3)
+    for i in range(10):
+        store.set(f"k{i}".encode(), b"v")
+    assert len(store) == 3
+
+
+def test_kv_store_overwrite():
+    store = KeyValueStore()
+    store.set(b"k", b"v1")
+    store.set(b"k", b"v2")
+    assert store.get(b"k") == b"v2"
+    assert len(store) == 1
+
+
+def test_run_reports_transactions_per_sec():
+    r = run_memcached(small(scheme="copy"))
+    assert r.transactions_per_sec is not None
+    assert r.transactions_per_sec > 0
+    assert r.units == 400
+    assert r.workload == "memcached"
+
+
+def test_gets_actually_hit_the_store():
+    r = run_memcached(small(scheme="no-iommu"))
+    assert r.extras["store_hits"] > 0
+
+
+def test_get_fraction_validated():
+    with pytest.raises(ConfigurationError):
+        run_memcached(small(get_fraction=1.5))
+
+
+def test_pure_set_workload():
+    r = run_memcached(small(scheme="no-iommu", get_fraction=0.0))
+    assert r.extras["store_hits"] == 0
+    assert r.units == 400
+
+
+def test_identity_strict_is_much_slower():
+    """Fig. 11: identity+ collapses on the invalidation lock.  The
+    collapse is a many-core phenomenon, so this test uses 8 cores (the
+    full 16-core ratio is asserted by the Figure 11 benchmark)."""
+    fast = run_memcached(small(scheme="no-iommu", cores=8))
+    slow = run_memcached(small(scheme="identity-strict", cores=8))
+    assert (fast.transactions_per_sec / slow.transactions_per_sec) > 2.0
+
+
+def test_copy_close_to_no_iommu():
+    """§6: copy serves memcached within a few percent of no-iommu."""
+    base = run_memcached(small(scheme="no-iommu"))
+    copy = run_memcached(small(scheme="copy"))
+    assert copy.transactions_per_sec / base.transactions_per_sec > 0.9
+
+
+def test_deterministic():
+    a = run_memcached(small(scheme="copy"))
+    b = run_memcached(small(scheme="copy"))
+    assert a.transactions_per_sec == b.transactions_per_sec

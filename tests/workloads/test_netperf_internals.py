@@ -1,0 +1,52 @@
+"""Unit tests for the netperf harness helpers."""
+
+import pytest
+
+from repro.sim.costmodel import CostModel
+from repro.sim.units import TCP_MSS, TSO_MAX_BYTES
+from repro.workloads.netperf import (
+    _RR_GRO_FRAMES,
+    _client_cpu_cycles,
+    _gro_aggregates,
+    _tx_chunks,
+)
+
+
+def test_tx_chunks_small():
+    assert _tx_chunks(100) == [100]
+    assert _tx_chunks(TSO_MAX_BYTES) == [TSO_MAX_BYTES]
+
+
+def test_tx_chunks_splits_at_tso_limit():
+    assert _tx_chunks(TSO_MAX_BYTES + 1) == [TSO_MAX_BYTES, 1]
+    assert _tx_chunks(3 * TSO_MAX_BYTES) == [TSO_MAX_BYTES] * 3
+
+
+def test_tx_chunks_conserve_bytes():
+    for size in (1, 1000, 65536, 200_000):
+        assert sum(_tx_chunks(size)) == size
+
+
+def test_gro_aggregates_small_message():
+    assert _gro_aggregates(64) == [64]
+
+
+def test_gro_aggregates_split():
+    per = _RR_GRO_FRAMES * TCP_MSS
+    aggrs = _gro_aggregates(65536)
+    assert sum(aggrs) == 65536
+    assert all(a <= per for a in aggrs)
+    assert len(aggrs) == -(-65536 // per)
+
+
+def test_gro_aggregates_zero():
+    assert _gro_aggregates(0) == [0]
+
+
+def test_client_cpu_scales_with_size():
+    cost = CostModel()
+    small = _client_cpu_cycles(cost, 64)
+    big = _client_cpu_cycles(cost, 65536)
+    assert big > 3 * small
+    # Dominated by the two size-proportional copies at 64 KB.
+    assert big > 2 * cost.memcpy_cycles(65536)

@@ -23,7 +23,9 @@ from typing import Iterable, Sequence
 
 from repro.attacks.audit import audit_all, render_table1
 from repro.dma.registry import ALL_SCHEMES, PAPER_ALIASES, scheme_properties
+from repro.obs.context import Observability
 from repro.stats.results import RunResult
+from repro.stats.timeline import render_observability_report
 from repro.workloads.memcached import MemcachedConfig, run_memcached
 from repro.workloads.netperf import (
     RRConfig,
@@ -58,6 +60,17 @@ def _print_result(result: RunResult, *, show_latency: bool = False,
         print(f"invalidations   : {result.extras['sync_invalidations']}")
 
 
+def _positive_int(value: str) -> int:
+    try:
+        n = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {value!r}")
+    if n < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer: {value}")
+    return n
+
+
 def _scheme(value: str) -> str:
     resolved = PAPER_ALIASES.get(value, value)
     if resolved not in ALL_SCHEMES:
@@ -74,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "Attacks' (ASPLOS'16)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Shared tracing options for every workload subcommand.
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument("--trace", metavar="PATH", default=None,
+                         help="enable tracing/metrics; write the event "
+                              "trace as JSONL to PATH")
+    tracing.add_argument("--trace-limit", type=_positive_int,
+                         default=1 << 16,
+                         help="ring-buffer capacity in events "
+                              "(oldest evicted first; default 65536)")
+
     sub.add_parser("schemes", help="list protection schemes and properties")
 
     audit = sub.add_parser("audit",
@@ -81,7 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--scheme", type=_scheme, default=None,
                        help="audit a single scheme instead of all")
 
-    stream = sub.add_parser("stream", help="netperf TCP_STREAM (Figs 3/4/6/7)")
+    stream = sub.add_parser("stream", parents=[tracing],
+                            help="netperf TCP_STREAM (Figs 3/4/6/7)")
     stream.add_argument("--scheme", type=_scheme, default="copy")
     stream.add_argument("--direction", choices=("rx", "tx"), default="rx")
     stream.add_argument("--size", type=int, default=16384,
@@ -90,18 +114,21 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--units", type=int, default=1000,
                         help="segments (rx) / messages (tx) per core")
 
-    rr = sub.add_parser("rr", help="netperf TCP_RR latency (Fig 9)")
+    rr = sub.add_parser("rr", parents=[tracing],
+                        help="netperf TCP_RR latency (Fig 9)")
     rr.add_argument("--scheme", type=_scheme, default="copy")
     rr.add_argument("--size", type=int, default=64)
     rr.add_argument("--transactions", type=int, default=300)
 
-    mc = sub.add_parser("memcached", help="memcached + memslap (Fig 11)")
+    mc = sub.add_parser("memcached", parents=[tracing],
+                        help="memcached + memslap (Fig 11)")
     mc.add_argument("--scheme", type=_scheme, default="copy")
     mc.add_argument("--cores", type=int, default=16)
     mc.add_argument("--transactions", type=int, default=400,
                     help="transactions per core")
 
-    st = sub.add_parser("storage", help="SSD-style block I/O (§5.5)")
+    st = sub.add_parser("storage", parents=[tracing],
+                        help="SSD-style block I/O (§5.5)")
     st.add_argument("--scheme", type=_scheme, default="copy")
     st.add_argument("--block-size", type=int, default=4096)
     st.add_argument("--cores", type=int, default=1)
@@ -141,6 +168,29 @@ def cmd_audit(scheme: str | None) -> int:
     return 0
 
 
+def _make_obs(args) -> Observability | None:
+    """Build the capture context when ``--trace`` was given."""
+    if getattr(args, "trace", None) is None:
+        return None
+    # Fail fast on an unwritable path — before the run, not after it.
+    try:
+        with open(args.trace, "w"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace to {args.trace}: {exc}")
+    return Observability.capture(trace_capacity=args.trace_limit)
+
+
+def _finish_obs(obs: Observability | None, args) -> None:
+    """Write the JSONL trace and print the observability report."""
+    if obs is None:
+        return
+    count = obs.tracer.write_jsonl(args.trace)
+    print()
+    print(render_observability_report(obs))
+    print(f"trace           : {count} events written to {args.trace}")
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     args = build_parser().parse_args(
         list(argv) if argv is not None else None)
@@ -149,33 +199,41 @@ def main(argv: Iterable[str] | None = None) -> int:
     if args.command == "audit":
         return cmd_audit(args.scheme)
     if args.command == "stream":
+        obs = _make_obs(args)
         result = run_tcp_stream(StreamConfig(
             scheme=args.scheme, direction=args.direction,
             message_size=args.size, cores=args.cores,
             units_per_core=args.units,
-            warmup_units=max(50, args.units // 10)))
+            warmup_units=max(50, args.units // 10), obs=obs))
         _print_result(result)
+        _finish_obs(obs, args)
         return 0
     if args.command == "rr":
+        obs = _make_obs(args)
         result = run_tcp_rr(RRConfig(
             scheme=args.scheme, message_size=args.size,
             transactions=args.transactions,
-            warmup_transactions=max(20, args.transactions // 10)))
+            warmup_transactions=max(20, args.transactions // 10), obs=obs))
         _print_result(result, show_latency=True)
+        _finish_obs(obs, args)
         return 0
     if args.command == "memcached":
+        obs = _make_obs(args)
         result = run_memcached(MemcachedConfig(
             scheme=args.scheme, cores=args.cores,
             transactions_per_core=args.transactions,
-            warmup_transactions=max(30, args.transactions // 10)))
+            warmup_transactions=max(30, args.transactions // 10), obs=obs))
         _print_result(result, show_tps=True)
+        _finish_obs(obs, args)
         return 0
     if args.command == "storage":
+        obs = _make_obs(args)
         result = run_storage(StorageConfig(
             scheme=args.scheme, block_size=args.block_size,
             cores=args.cores, ops_per_core=args.ops,
-            warmup_ops=max(20, args.ops // 10)))
+            warmup_ops=max(20, args.ops // 10), obs=obs))
         _print_result(result, show_tps=True)
+        _finish_obs(obs, args)
         return 0
     raise AssertionError(f"unhandled command {args.command}")
 

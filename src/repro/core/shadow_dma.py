@@ -43,6 +43,7 @@ from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
 from repro.iommu.page_table import Perm
 from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.obs.trace import EV_DMA_COPY
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_up
 
 
@@ -197,6 +198,11 @@ class ShadowDmaApi(DmaApi):
         if pollution:
             core.charge(pollution, CAT_OTHER)
         self.machine.memory.copy(dst_pa, src_pa, nbytes)
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_DMA_COPY, core.now, core.cid,
+                                 nbytes=nbytes, remote=remote,
+                                 cycles=cycles)
+            self.obs.metrics.histogram("dma.copy_bytes").observe(nbytes)
 
     # ------------------------------------------------------------------
     # Hybrid huge buffers (§5.5).

@@ -36,6 +36,7 @@ from repro.iommu.iommu import Domain, Iommu
 from repro.iommu.page_table import Perm
 from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.obs.trace import EV_POOL_FALLBACK, EV_POOL_GROW, EV_POOL_SHRINK
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
 
 ListKey = Tuple[int, int, Perm]  # (owner core id, class index, rights)
@@ -168,6 +169,13 @@ class PoolStats:
         self.buffers_allocated += nbuffers
         self.grows += 1
 
+    def note_shrink(self, nbytes: int, nbuffers: int) -> None:
+        """Exact inverse of :meth:`note_grow`, so grow/shrink round-trips
+        leave ``bytes_allocated`` and ``buffers_allocated`` balanced."""
+        self.bytes_allocated -= nbytes
+        self.buffers_allocated -= nbuffers
+        self.shrinks += 1
+
     def note_acquire(self) -> None:
         self.acquires += 1
         self.in_flight += 1
@@ -206,6 +214,7 @@ class ShadowBufferPool:
         self.sticky = sticky
         self.max_pool_bytes = max_pool_bytes
         self.stats = PoolStats()
+        self.obs = machine.obs
 
         self._lists: Dict[ListKey, _FreeList] = {}
         self._arrays: Dict[Tuple[int, int], _MetadataArray] = {}
@@ -215,7 +224,8 @@ class ShadowBufferPool:
                                self.codec.index_capacity(cls))
                 self._arrays[(node, cls)] = _MetadataArray(
                     node=node, class_index=cls, capacity=capacity,
-                    lock=SpinLock(f"meta-{node}-{cls}", machine.cost),
+                    lock=SpinLock(f"meta-{node}-{cls}", machine.cost,
+                                  obs=machine.obs),
                 )
         #: Fallback hash table: IOVA → metadata (§5.3).
         self._fallback: Dict[int, ShadowBufferMeta] = {}
@@ -252,6 +262,9 @@ class ShadowBufferPool:
             meta = self._grow(core, flist)
         meta.os_buf = os_buf
         self.stats.note_acquire()
+        if self.obs.enabled:
+            self.obs.metrics.series("pool.in_flight").sample(
+                core.now, self.stats.in_flight)
         return meta
 
     def find_shadow(self, core: Core, iova: int) -> ShadowBufferMeta:
@@ -286,6 +299,9 @@ class ShadowBufferPool:
             core.charge(self.cost.pool_remote_release_cycles, CAT_COPY_MGMT)
         meta.os_buf = None
         self.stats.note_release(remote)
+        if self.obs.enabled:
+            self.obs.metrics.series("pool.in_flight").sample(
+                core.now, self.stats.in_flight)
         if (not self.sticky and remote and not meta.fallback
                 and meta.size >= PAGE_SIZE):
             # Sub-page buffers are never migrated: their page mapping is
@@ -305,7 +321,8 @@ class ShadowBufferPool:
         key: ListKey = (core_id, class_index, rights)
         flist = self._lists.get(key)
         if flist is None:
-            flist = _FreeList(key, SpinLock(f"tail-{key}", self.cost))
+            flist = _FreeList(key, SpinLock(f"tail-{key}", self.cost,
+                                            obs=self.obs))
             self._lists[key] = flist
         return flist
 
@@ -331,6 +348,13 @@ class ShadowBufferPool:
             nbuffers = 1
             metas = [self._make_meta(core, flist, pa, node)]
         self.stats.note_grow(alloc_bytes, nbuffers)
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_POOL_GROW, core.now, core.cid,
+                                 size_class=size, nbytes=alloc_bytes,
+                                 nbuffers=nbuffers, rights=rights.name)
+            self.obs.metrics.counter("pool.grows").inc()
+            self.obs.metrics.series("pool.bytes_allocated").sample(
+                core.now, self.stats.bytes_allocated)
         # One buffer is returned; the rest go to the private cache so we
         # need not synchronize with concurrent releases (§5.3).
         result = metas[0]
@@ -417,6 +441,11 @@ class ShadowBufferPool:
         )
         self._fallback[iova] = meta
         self.stats.fallback_allocations += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_POOL_FALLBACK, core.now, core.cid,
+                                 size_class=size, iova=iova,
+                                 rights=rights.name)
+            self.obs.metrics.counter("pool.fallback_allocations").inc()
         return meta
 
     # ------------------------------------------------------------------
@@ -435,7 +464,9 @@ class ShadowBufferPool:
         self.iommu.invalidation_queue.invalidate_sync(
             core, self.domain.domain_id, meta.iova >> PAGE_SHIFT,
             max(1, meta.size >> PAGE_SHIFT))
-        self._retire_meta(meta)
+        self._retire_meta(core, meta)
+        old_list = self._lists[meta.list_key]
+        old_list.total_buffers -= 1
         new_list = self._list_for(core.cid, class_index, rights)
         new_meta = self._make_meta(core, new_list, meta.pa,
                                    self.machine.node_of_core(core.cid))
@@ -444,11 +475,16 @@ class ShadowBufferPool:
         new_list.push_tail(new_meta)
         new_list.tail_lock.release(core)
 
-    def _retire_meta(self, meta: ShadowBufferMeta) -> None:
+    def _retire_meta(self, core: Core, meta: ShadowBufferMeta) -> None:
         if meta.fallback:
             self._fallback.pop(meta.iova, None)
+            # Fallback IOVAs are recyclable (encoded indices are not):
+            # return the page-aligned range taken in _make_fallback_meta,
+            # or the external allocator leaks one range per retired
+            # fallback buffer.
             npages = max(1, meta.size >> PAGE_SHIFT)
-            # Fallback IOVAs are recyclable; encoded indices are not.
+            base = meta.iova & ~(PAGE_SIZE - 1)
+            self.fallback_iova.free(base, npages, core)
             return
         array = self._arrays[(meta.domain_node, meta.class_index)]
         array.entries[meta.meta_index] = None
@@ -481,13 +517,21 @@ class ShadowBufferPool:
                 self.iommu.invalidation_queue.invalidate_sync(
                     core, self.domain.domain_id, meta.iova >> PAGE_SHIFT,
                     max(1, meta.size >> PAGE_SHIFT))
-                self._retire_meta(meta)
+                self._retire_meta(core, meta)
                 node = self.machine.memory.node_of(meta.pa)
                 self.allocators.buddies[node].free_pages(meta.pa, core)
                 flist.total_buffers -= 1
-                self.stats.bytes_allocated -= meta.size
-                freed += meta.size
-                self.stats.shrinks += 1
+                # Undo exactly what note_grow recorded: page-quantity
+                # bytes and the buffer count.
+                released = max(meta.size, PAGE_SIZE)
+                self.stats.note_shrink(released, 1)
+                freed += released
+                if self.obs.enabled:
+                    self.obs.tracer.emit(EV_POOL_SHRINK, core.now, core.cid,
+                                         size=meta.size,
+                                         fallback=meta.fallback)
+                    self.obs.metrics.series("pool.bytes_allocated").sample(
+                        core.now, self.stats.bytes_allocated)
         return freed
 
     # ------------------------------------------------------------------

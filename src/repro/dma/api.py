@@ -29,6 +29,8 @@ from repro.hw.cpu import Core
 from repro.iommu.iommu import DmaPort
 from repro.iommu.page_table import Perm
 from repro.kalloc.slab import KBuffer
+from repro.obs.context import NULL_OBS
+from repro.obs.trace import EV_DMA_MAP, EV_DMA_UNMAP
 
 
 class DmaDirection(enum.Enum):
@@ -122,6 +124,9 @@ class DmaApi(abc.ABC):
     def __init__(self) -> None:
         self._live: Dict[int, _LiveMapping] = {}
         self.stats = DmaApiStats()
+        #: Observability context; the registry rebinds this to the
+        #: machine's after construction (NULL_OBS → zero overhead).
+        self.obs = NULL_OBS
 
     # ------------------------------------------------------------------
     # Public API (contract enforcement + dispatch).
@@ -139,6 +144,12 @@ class DmaApi(abc.ABC):
         self._live[handle.iova] = _LiveMapping(buf=buf, handle=handle,
                                                cookie=cookie)
         self.stats.note_map(buf.size)
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_DMA_MAP, core.now, core.cid,
+                                 scheme=self.name, iova=handle.iova,
+                                 size=buf.size,
+                                 direction=direction.value)
+            self.obs.metrics.counter(f"dma.maps:{self.name}").inc()
         return handle
 
     def dma_unmap(self, core: Core, handle: DmaHandle) -> None:
@@ -154,6 +165,11 @@ class DmaApi(abc.ABC):
             )
         self._unmap(core, live.buf, handle, live.cookie)
         self.stats.unmaps += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_DMA_UNMAP, core.now, core.cid,
+                                 scheme=self.name, iova=handle.iova,
+                                 size=handle.size)
+            self.obs.metrics.counter(f"dma.unmaps:{self.name}").inc()
 
     def dma_map_sg(self, core: Core, bufs: Sequence[KBuffer],
                    direction: DmaDirection) -> List[DmaHandle]:

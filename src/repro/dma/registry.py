@@ -113,6 +113,17 @@ def create_dma_api(name: str, machine: Machine, iommu: Iommu | None,
     or ``size_classes=...`` for ``copy``).
     """
     name = PAPER_ALIASES.get(name, name)
+    api = _build_dma_api(name, machine, iommu, device_id, allocators,
+                         **scheme_kwargs)
+    # Single rebind point: every scheme observes through the machine's
+    # context; directly-constructed schemes (unit tests) stay NULL_OBS.
+    api.obs = machine.obs
+    return api
+
+
+def _build_dma_api(name: str, machine: Machine, iommu: Iommu | None,
+                   device_id: int, allocators: KernelAllocators,
+                   **scheme_kwargs) -> DmaApi:
     if name == "no-iommu":
         return NoIommuDmaApi(machine, allocators)
     if name == "swiotlb":
@@ -131,19 +142,21 @@ def create_dma_api(name: str, machine: Machine, iommu: Iommu | None,
 
         fallback = MagazineIovaAllocator(
             machine.cost, machine.num_cores,
-            SpinLock("iova-depot", machine.cost))
+            SpinLock("iova-depot", machine.cost, obs=machine.obs))
         return ShadowDmaApi(machine, iommu, device_id, allocators,
                             fallback_iova=fallback, **scheme_kwargs)
 
     iova_kind, _, policy = name.rpartition("-")
     makers: Dict[str, Callable] = {
         "linux": lambda: LinuxIovaAllocator(
-            machine.cost, SpinLock("iova-rbtree", machine.cost)),
+            machine.cost, SpinLock("iova-rbtree", machine.cost,
+                                   obs=machine.obs)),
         "eiovar": lambda: EiovaRAllocator(
-            machine.cost, SpinLock("iova-rbtree", machine.cost)),
+            machine.cost, SpinLock("iova-rbtree", machine.cost,
+                                   obs=machine.obs)),
         "magazine": lambda: MagazineIovaAllocator(
             machine.cost, machine.num_cores,
-            SpinLock("iova-depot", machine.cost)),
+            SpinLock("iova-depot", machine.cost, obs=machine.obs)),
         "identity": lambda: IdentityIovaAllocator(machine.cost),
     }
     if iova_kind not in makers or policy not in ("strict", "deferred"):

@@ -70,7 +70,7 @@ class SwiotlbDmaApi(DmaApi):
         self.pool_base = allocators.buddies[node].alloc_pages(order)
         self.pool_slots = pool_slots
         self._free_runs: List[tuple[int, int]] = [(0, pool_slots)]
-        self._lock = SpinLock("swiotlb", machine.cost)
+        self._lock = SpinLock("swiotlb", machine.cost, obs=machine.obs)
         self._coherent: Dict[int, int] = {}
 
     # ------------------------------------------------------------------

@@ -41,6 +41,7 @@ from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
 from repro.iommu.page_table import Perm
 from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.obs.trace import EV_INV_DEFER
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_up
 
 
@@ -232,7 +233,7 @@ class DeferredZeroCopyDmaApi(ZeroCopyDmaApi):
         )
         self._list_lock: SpinLock | NullLock = (
             NullLock("flush-list") if per_core_batching
-            else SpinLock("flush-list", machine.cost)
+            else SpinLock("flush-list", machine.cost, obs=machine.obs)
         )
         #: Measured vulnerability-window durations (cycles between an
         #: unmap and the flush that finally revoked its IOTLB entries).
@@ -255,6 +256,10 @@ class DeferredZeroCopyDmaApi(ZeroCopyDmaApi):
             pending.append(PendingInvalidation(
                 domain_id=self.domain.domain_id, iova_page=cleared[0],
                 npages=len(cleared), queued_at=core.now))
+            if self.obs.enabled:
+                self.obs.tracer.emit(EV_INV_DEFER, core.now, core.cid,
+                                     scheme=self.name, pages=len(cleared),
+                                     slot=slot, queued=len(pending))
         # IOVA deallocation is deferred too (§2.2.1): the range must not
         # be reused while stale IOTLB entries can still reach it.
         self._pending_iova_frees[slot].append((cookie.iova_base,
@@ -279,6 +284,12 @@ class DeferredZeroCopyDmaApi(ZeroCopyDmaApi):
         if len(self.window_samples) < self._max_window_samples:
             now = core.now
             self.window_samples.extend(now - p.queued_at for p in pending)
+        if self.obs.enabled and pending:
+            now = core.now
+            window_hist = self.obs.metrics.histogram(
+                "invalidation.window_cycles")
+            for p in pending:
+                window_hist.observe(now - p.queued_at)
         for iova, npages in frees:
             self.iova_allocator.free(iova, npages, core)
 

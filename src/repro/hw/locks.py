@@ -14,12 +14,20 @@ from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
 from repro.hw.cpu import CAT_SPINLOCK, Core
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.trace import EV_LOCK_ACQUIRE, EV_LOCK_CONTEND, EV_LOCK_RELEASE
 from repro.sim.costmodel import CostModel
 
 
 @dataclass
 class LockStats:
-    """Counters a lock accumulates over its lifetime."""
+    """Counters a lock accumulates over its lifetime.
+
+    These lifetime aggregates stay for cheap assertions; runs that want
+    distributions (wait/hold profiles per lock) enable the observability
+    layer, which records ``lock.wait_cycles:<name>`` and
+    ``lock.hold_cycles:<name>`` histograms in the metrics registry.
+    """
 
     acquisitions: int = 0
     contended_acquisitions: int = 0
@@ -47,9 +55,11 @@ class SpinLock:
     when the acquisition was contended.
     """
 
-    def __init__(self, name: str, cost: CostModel):
+    def __init__(self, name: str, cost: CostModel,
+                 obs: Observability | None = None):
         self.name = name
         self.cost = cost
+        self.obs = obs if obs is not None else NULL_OBS
         self.free_at: int = 0
         self.stats = LockStats()
         self._holder: Core | None = None
@@ -68,6 +78,17 @@ class SpinLock:
         else:
             # Uncontended fast path: the atomic RMW pair.
             core.charge(self.cost.lock_uncontended_cycles, CAT_SPINLOCK)
+        if self.obs.enabled:
+            metrics = self.obs.metrics
+            metrics.counter(f"lock.acquisitions:{self.name}").inc()
+            if waited:
+                metrics.histogram(
+                    f"lock.wait_cycles:{self.name}").observe(waited)
+                self.obs.tracer.emit(EV_LOCK_CONTEND, core.now, core.cid,
+                                     lock=self.name, wait_cycles=waited)
+            else:
+                self.obs.tracer.emit(EV_LOCK_ACQUIRE, core.now, core.cid,
+                                     lock=self.name)
         self._holder = core
         self._acquired_at = core.now
 
@@ -76,7 +97,13 @@ class SpinLock:
             raise SimulationError(
                 f"lock {self.name}: released by non-holder core {core.cid}"
             )
-        self.stats.total_hold_cycles += core.now - self._acquired_at
+        held = core.now - self._acquired_at
+        self.stats.total_hold_cycles += held
+        if self.obs.enabled:
+            self.obs.metrics.histogram(
+                f"lock.hold_cycles:{self.name}").observe(held)
+            self.obs.tracer.emit(EV_LOCK_RELEASE, core.now, core.cid,
+                                 lock=self.name, hold_cycles=held)
         self.free_at = core.now
         self._holder = None
 

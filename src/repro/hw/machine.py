@@ -13,6 +13,7 @@ from typing import List
 from repro.errors import ConfigurationError
 from repro.hw.cpu import Core
 from repro.hw.memory import PhysicalMemory
+from repro.obs.context import NULL_OBS, Observability
 from repro.sim.costmodel import DEFAULT_COST_MODEL, CostModel
 
 
@@ -33,17 +34,22 @@ class Machine:
     """
 
     def __init__(self, cores: List[Core], nodes: List[NumaNode],
-                 memory: PhysicalMemory, cost: CostModel):
+                 memory: PhysicalMemory, cost: CostModel,
+                 obs: Observability | None = None):
         if not cores:
             raise ConfigurationError("machine needs at least one core")
         self.cores = cores
         self.nodes = nodes
         self.memory = memory
         self.cost = cost
+        #: Observability context every component built on this machine
+        #: shares.  Disabled (NULL_OBS) by default — see repro.obs.
+        self.obs = obs if obs is not None else NULL_OBS
 
     @classmethod
     def build(cls, cores: int = 16, numa_nodes: int = 2,
-              cost: CostModel | None = None) -> "Machine":
+              cost: CostModel | None = None,
+              obs: Observability | None = None) -> "Machine":
         """Construct a machine with ``cores`` spread evenly over ``numa_nodes``."""
         if cores < 1:
             raise ConfigurationError(f"invalid core count: {cores}")
@@ -62,7 +68,7 @@ class Machine:
             core_objs.append(core)
             nodes[nid].cores.append(core)
         memory = PhysicalMemory(num_nodes=numa_nodes)
-        return cls(core_objs, nodes, memory, cost)
+        return cls(core_objs, nodes, memory, cost, obs=obs)
 
     # ------------------------------------------------------------------
     @property

@@ -26,11 +26,21 @@ from typing import Deque, List, Tuple
 from repro.hw.cpu import CAT_INVALIDATE, Core
 from repro.hw.locks import NullLock, SharedResource, SpinLock
 from repro.iommu.iotlb import Iotlb
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.trace import EV_INV_COMPLETE, EV_INV_FLUSH, EV_INV_SUBMIT
 from repro.sim.costmodel import CostModel
 from repro.sim.units import us_to_cycles
 
 #: Sliding window (cycles) over which concurrent submitters are counted.
 _CONCURRENCY_WINDOW_CYCLES = us_to_cycles(64.0)
+
+
+def _in_window(t: int, horizon: int) -> bool:
+    """THE window predicate: a submission at ``t`` counts iff it is at or
+    after ``horizon``.  Eviction and counting must both use this (and its
+    exact negation) or the two sides of the window disagree about
+    submissions landing exactly on the boundary."""
+    return t >= horizon
 
 
 @dataclass(frozen=True)
@@ -47,11 +57,13 @@ class InvalidationQueue:
     """The IOMMU's command queue for IOTLB invalidations."""
 
     def __init__(self, iotlb: Iotlb, cost: CostModel,
-                 lock: SpinLock | NullLock | None = None):
+                 lock: SpinLock | NullLock | None = None,
+                 obs: Observability | None = None):
         self.iotlb = iotlb
         self.cost = cost
         self.lock: SpinLock | NullLock = lock if lock is not None \
             else NullLock("qi-lock")
+        self.obs = obs if obs is not None else NULL_OBS
         self.hardware = SharedResource("iommu-invalidation-hw")
         self._recent: Deque[Tuple[int, int]] = deque()  # (time, core id)
         self.sync_invalidations = 0
@@ -60,18 +72,26 @@ class InvalidationQueue:
     # ------------------------------------------------------------------
     # Concurrency estimation (drives the Fig. 8a latency degradation).
     # ------------------------------------------------------------------
-    def _note_submission(self, core: Core) -> int:
-        now = core.now
-        self._recent.append((now, core.cid))
+    def _window_concurrency(self, now: int) -> int:
+        """Distinct submitting cores within the window ending at ``now``.
+
+        Evicts expired entries from the head; both eviction and counting
+        use :func:`_in_window` so a submission exactly on the boundary is
+        either counted everywhere or nowhere.
+        """
         horizon = now - _CONCURRENCY_WINDOW_CYCLES
-        while self._recent and self._recent[0][0] < horizon:
+        while self._recent and not _in_window(self._recent[0][0], horizon):
             self._recent.popleft()
-        return len({cid for _, cid in self._recent})
+        return len({cid for t, cid in self._recent
+                    if _in_window(t, horizon)})
+
+    def _note_submission(self, core: Core) -> int:
+        self._recent.append((core.now, core.cid))
+        return self._window_concurrency(core.now)
 
     def current_concurrency(self, core: Core) -> int:
         """Distinct cores that submitted within the recent window."""
-        horizon = core.now - _CONCURRENCY_WINDOW_CYCLES
-        return len({cid for t, cid in self._recent if t >= horizon}) or 1
+        return self._window_concurrency(core.now) or 1
 
     # ------------------------------------------------------------------
     # Strict protection: invalidate and wait, under the queue lock.
@@ -92,22 +112,43 @@ class InvalidationQueue:
     def invalidate_domain_sync(self, core: Core, domain_id: int) -> None:
         """Domain-wide invalidation with completion wait."""
         self.lock.acquire(core)
-        core.charge(self.cost.invq_submit_cycles, CAT_INVALIDATE)
-        latency = self.cost.iotlb_invalidation_latency(self._note_submission(core))
-        done = self.hardware.occupy(core.now, latency)
-        core.spin_until(done, CAT_INVALIDATE)
-        core.charge(self.cost.invq_wait_poll_cycles, CAT_INVALIDATE)
+        self._submit_and_wait(core, scope="domain", domain_id=domain_id)
         self.iotlb.invalidate_domain(domain_id)
         self.lock.release(core)
         self.sync_invalidations += 1
 
-    def _invalidate_locked(self, core: Core, domain_id: int,
-                           iova_page: int, npages: int) -> None:
+    def _submit_and_wait(self, core: Core, scope: str,
+                         domain_id: int = -1, npages: int = 0) -> None:
+        """Post one descriptor + wait descriptor and busy-wait completion.
+
+        Shared by every submission path; the observed latency (hardware
+        queueing + service) feeds the ``invalidation.latency_cycles``
+        histogram that reproduces Fig. 8a as a distribution.
+        """
         core.charge(self.cost.invq_submit_cycles, CAT_INVALIDATE)
-        latency = self.cost.iotlb_invalidation_latency(self._note_submission(core))
+        concurrency = self._note_submission(core)
+        submitted_at = core.now
+        latency = self.cost.iotlb_invalidation_latency(concurrency)
         done = self.hardware.occupy(core.now, latency)
         core.spin_until(done, CAT_INVALIDATE)
         core.charge(self.cost.invq_wait_poll_cycles, CAT_INVALIDATE)
+        if self.obs.enabled:
+            observed = done - submitted_at
+            metrics = self.obs.metrics
+            metrics.histogram("invalidation.latency_cycles").observe(observed)
+            metrics.counter(f"invalidation.submissions:{scope}").inc()
+            metrics.series("invalidation.concurrency").sample(
+                submitted_at, concurrency)
+            self.obs.tracer.emit(EV_INV_SUBMIT, submitted_at, core.cid,
+                                 scope=scope, domain=domain_id,
+                                 pages=npages, concurrency=concurrency)
+            self.obs.tracer.emit(EV_INV_COMPLETE, done, core.cid,
+                                 scope=scope, latency_cycles=observed)
+
+    def _invalidate_locked(self, core: Core, domain_id: int,
+                           iova_page: int, npages: int) -> None:
+        self._submit_and_wait(core, scope="page", domain_id=domain_id,
+                              npages=npages)
         self.iotlb.invalidate_pages(domain_id, iova_page, npages)
 
     # ------------------------------------------------------------------
@@ -124,11 +165,13 @@ class InvalidationQueue:
         if not pending:
             return
         self.lock.acquire(core)
-        core.charge(self.cost.invq_submit_cycles, CAT_INVALIDATE)
-        latency = self.cost.iotlb_invalidation_latency(self._note_submission(core))
-        done = self.hardware.occupy(core.now, latency)
-        core.spin_until(done, CAT_INVALIDATE)
-        core.charge(self.cost.invq_wait_poll_cycles, CAT_INVALIDATE)
+        self._submit_and_wait(core, scope="global",
+                              npages=sum(p.npages for p in pending))
         self.iotlb.invalidate_all()
         self.lock.release(core)
         self.batch_flushes += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_INV_FLUSH, core.now, core.cid,
+                                 batch=len(pending))
+            self.obs.metrics.histogram(
+                "invalidation.batch_size").observe(len(pending))

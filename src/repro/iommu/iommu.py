@@ -56,10 +56,10 @@ class Iommu:
         self.machine = machine
         self.cost = machine.cost
         self.iotlb = Iotlb(capacity=iotlb_capacity)
-        lock = (SpinLock("qi-lock", machine.cost)
+        lock = (SpinLock("qi-lock", machine.cost, obs=machine.obs)
                 if concurrent_invalidation_lock else NullLock("qi-lock"))
         self.invalidation_queue = InvalidationQueue(self.iotlb, machine.cost,
-                                                    lock)
+                                                    lock, obs=machine.obs)
         self.domains: Dict[int, Domain] = {}
         self.faults: List[FaultRecord] = []
         self._domain_ids = itertools.count(1)

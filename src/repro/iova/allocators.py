@@ -53,6 +53,9 @@ class IdentityIovaAllocator:
     def free(self, iova: int, npages: int, core: Core) -> None:  # noqa: ARG002
         core.charge(self.cost.iova_identity_cycles // 2)
 
+    def outstanding_ranges(self) -> int:
+        return 0
+
 
 class LinuxIovaAllocator:
     """Stock Linux: globally locked, address-ordered allocation.
@@ -100,6 +103,10 @@ class LinuxIovaAllocator:
             )
         self._free_ranges.append((base, npages))
         self.lock.release(core)
+
+    def outstanding_ranges(self) -> int:
+        """Allocated-but-unfreed ranges (leak detector hook)."""
+        return len(self._allocated)
 
     def _take_range(self, npages: int) -> int:
         # Prefer a recycled range of exactly the right size.
@@ -173,6 +180,10 @@ class EiovaRAllocator:
         self._cache[npages].append(base)
         self.lock.release(core)
 
+    def outstanding_ranges(self) -> int:
+        """Allocated-but-unfreed ranges (leak detector hook)."""
+        return len(self._tree._allocated)
+
 
 class MagazineIovaAllocator:
     """ATC'15 [42]: per-core magazines over a globally locked depot.
@@ -237,3 +248,11 @@ class MagazineIovaAllocator:
             del magazine[self.magazine_size // 2:]
             self.depot_lock.release(core)
         magazine.append(base)
+
+    def outstanding_ranges(self) -> int:
+        """Allocated-but-unfreed ranges (leak detector hook).
+
+        Ranges parked in magazines are reserved, not outstanding — only
+        ranges handed to a caller and never freed count.
+        """
+        return len(self._tree._allocated)

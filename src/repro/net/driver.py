@@ -31,6 +31,7 @@ from repro.kalloc.slab import KBuffer, KernelAllocators
 from repro.net.nic import Nic
 from repro.net.packets import parse_frame
 from repro.net.ring import FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
+from repro.obs.trace import EV_NET_RX, EV_NET_TX
 from repro.sim.units import PAGE_SIZE
 
 
@@ -81,6 +82,7 @@ class NicDriver:
         self.rx_buf_size = rx_buf_size
         self._rx_buf_order = max(0, ((rx_buf_size + PAGE_SIZE - 1)
                                      // PAGE_SIZE - 1).bit_length())
+        self.obs = machine.obs
         self.stats = DriverStats()
         self._rx_rings: Dict[int, DescriptorRing] = {}
         self._tx_rings: Dict[int, DescriptorRing] = {}
@@ -160,6 +162,11 @@ class NicDriver:
                                                       desc.length))
         self.stats.rx_packets += 1
         self.stats.rx_bytes += desc.length
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_NET_RX, core.now, core.cid, qid=qid,
+                                 nbytes=desc.length,
+                                 payload=parsed.payload_len)
+            self.obs.metrics.counter("net.rx_packets").inc()
         self.allocators.buddies[slot.buf.node].free_pages(slot.buf.pa, core)
         self._post_rx_buffer(core, qid)
         return parsed.payload_len
@@ -179,6 +186,10 @@ class NicDriver:
         core.charge(self.cost.tx_desc_cycles, CAT_OTHER)
         self.stats.tx_chunks += 1
         self.stats.tx_bytes += buf.size
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_NET_TX, core.now, core.cid, qid=qid,
+                                 nbytes=buf.size, sg=False)
+            self.obs.metrics.counter("net.tx_chunks").inc()
 
     def send_chunk_sg(self, core: Core, qid: int, buf: KBuffer,
                       free_buffer: bool = True) -> int:
@@ -212,6 +223,11 @@ class NicDriver:
             core.charge(self.cost.tx_desc_cycles, CAT_OTHER)
         self.stats.tx_chunks += 1
         self.stats.tx_bytes += buf.size
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_NET_TX, core.now, core.cid, qid=qid,
+                                 nbytes=buf.size, sg=True,
+                                 elements=len(handles))
+            self.obs.metrics.counter("net.tx_chunks").inc()
         return len(handles)
 
     def reap_tx(self, core: Core, qid: int) -> int:

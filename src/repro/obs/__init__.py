@@ -1,0 +1,66 @@
+"""repro.obs — tracing, metrics, and phase timelines for the simulation.
+
+See docs/observability.md for the event schema and usage.
+"""
+
+from repro.obs.context import NULL_OBS, Observability, PhaseRecord
+from repro.obs.metrics import (
+    CycleHistogram,
+    MetricCounter,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.obs.trace import (
+    ALL_EVENT_KINDS,
+    EV_DMA_COPY,
+    EV_DMA_MAP,
+    EV_DMA_UNMAP,
+    EV_INV_COMPLETE,
+    EV_INV_DEFER,
+    EV_INV_FLUSH,
+    EV_INV_SUBMIT,
+    EV_LOCK_ACQUIRE,
+    EV_LOCK_CONTEND,
+    EV_LOCK_RELEASE,
+    EV_NET_RX,
+    EV_NET_TX,
+    EV_PHASE,
+    EV_POOL_FALLBACK,
+    EV_POOL_GROW,
+    EV_POOL_SHRINK,
+    EV_SCHED_STEP,
+    NullTracer,
+    RingTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "NULL_OBS",
+    "Observability",
+    "PhaseRecord",
+    "MetricsRegistry",
+    "MetricCounter",
+    "CycleHistogram",
+    "TimeSeries",
+    "NullTracer",
+    "RingTracer",
+    "TraceEvent",
+    "ALL_EVENT_KINDS",
+    "EV_LOCK_ACQUIRE",
+    "EV_LOCK_CONTEND",
+    "EV_LOCK_RELEASE",
+    "EV_INV_SUBMIT",
+    "EV_INV_COMPLETE",
+    "EV_INV_DEFER",
+    "EV_INV_FLUSH",
+    "EV_POOL_GROW",
+    "EV_POOL_SHRINK",
+    "EV_POOL_FALLBACK",
+    "EV_DMA_MAP",
+    "EV_DMA_UNMAP",
+    "EV_DMA_COPY",
+    "EV_NET_RX",
+    "EV_NET_TX",
+    "EV_SCHED_STEP",
+    "EV_PHASE",
+]

@@ -21,6 +21,8 @@ from typing import Callable, Iterable, List
 
 from repro.errors import SimulationError
 from repro.hw.cpu import Core
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.trace import EV_SCHED_STEP
 
 
 @dataclass
@@ -77,8 +79,10 @@ UNIT_DONE = object()
 class Scheduler:
     """Interleaves :class:`CoreTask` streams by smallest core clock."""
 
-    def __init__(self, tasks: Iterable["CoreTask | GeneratorTask"]):
+    def __init__(self, tasks: Iterable["CoreTask | GeneratorTask"],
+                 obs: Observability | None = None):
         self.tasks: List["CoreTask | GeneratorTask"] = list(tasks)
+        self.obs = obs if obs is not None else NULL_OBS
         if not self.tasks:
             raise SimulationError("scheduler needs at least one task")
         seen = set()
@@ -101,9 +105,14 @@ class Scheduler:
         while heap:
             if max_units is not None and executed >= max_units:
                 break
-            _, _, task = heapq.heappop(heap)
+            started_at, _, task = heapq.heappop(heap)
             more = task.run_one()
             executed += 1
+            if self.obs.enabled:
+                self.obs.tracer.emit(EV_SCHED_STEP, started_at,
+                                     task.core.cid, task=task.name,
+                                     ran_cycles=task.core.now - started_at,
+                                     units=task.units_done)
             if more:
                 heapq.heappush(heap, (task.core.now, next(counter), task))
         return executed

@@ -15,6 +15,13 @@ from repro.stats.analytical import (
 )
 from repro.stats.export import result_to_row, to_csv, to_json, write_csv, write_json
 from repro.stats.results import RunResult, Series
+from repro.stats.timeline import (
+    render_histogram,
+    render_metrics_summary,
+    render_observability_report,
+    render_phase_table,
+    render_trace_summary,
+)
 
 __all__ = [
     "RunResult",
@@ -33,4 +40,9 @@ __all__ = [
     "write_csv",
     "write_json",
     "result_to_row",
+    "render_histogram",
+    "render_metrics_summary",
+    "render_observability_report",
+    "render_phase_table",
+    "render_trace_summary",
 ]

@@ -1,0 +1,113 @@
+"""Render observability data: metrics summaries, phase timelines, traces.
+
+These renderers turn the :mod:`repro.obs` data — the metrics registry's
+counters/histograms/series, the phase timeline, and the trace ring —
+into the same kind of aligned ASCII tables the rest of
+:mod:`repro.stats` produces.  The CLI's ``--trace`` flag prints the
+metrics summary after the run's result table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.obs.context import Observability, PhaseRecord
+from repro.obs.metrics import CycleHistogram, MetricsRegistry
+from repro.sim.units import cycles_to_us
+
+#: Width of histogram bars in :func:`render_histogram`.
+_BAR_WIDTH = 40
+
+
+def render_histogram(hist: CycleHistogram, title: str | None = None) -> str:
+    """One histogram as bucket rows with proportional hash bars."""
+    lines: List[str] = [title if title is not None else hist.name]
+    if not hist.count:
+        lines.append("  (no observations)")
+        return "\n".join(lines)
+    populated = hist.nonzero_buckets()
+    peak = max(n for _, n in populated)
+    for upper, n in populated:
+        bar = "#" * max(1, round(_BAR_WIDTH * n / peak))
+        lines.append(f"  <= {upper:>12}  {n:>8}  {bar}")
+    s = hist.summary()
+    lines.append(f"  count={s['count']} mean={s['mean']} "
+                 f"p50={s['p50']} p90={s['p90']} p99={s['p99']} "
+                 f"max={s['max']}")
+    return "\n".join(lines)
+
+
+def render_metrics_summary(metrics: MetricsRegistry) -> str:
+    """The registry's counters, histograms, and series as one report."""
+    lines: List[str] = ["== metrics =="]
+    if metrics.counters:
+        lines.append("counters:")
+        width = max(len(n) for n in metrics.counters)
+        for name in sorted(metrics.counters):
+            lines.append(f"  {name:<{width}}  "
+                         f"{metrics.counters[name].value:>12}")
+    if metrics.histograms:
+        lines.append("histograms (cycles):")
+        for name in sorted(metrics.histograms):
+            lines.append(render_histogram(metrics.histograms[name],
+                                          title=f"  {name}"))
+    if metrics.time_series:
+        lines.append("series:")
+        width = max(len(n) for n in metrics.time_series)
+        for name in sorted(metrics.time_series):
+            s = metrics.time_series[name].summary()
+            if not s.get("samples"):
+                lines.append(f"  {name:<{width}}  (no samples)")
+                continue
+            lines.append(f"  {name:<{width}}  min={s['min']} "
+                         f"mean={s['mean']} max={s['max']} last={s['last']}")
+    if len(lines) == 1:
+        lines.append("  (no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_phase_table(phases: Iterable[PhaseRecord]) -> str:
+    """Workload phases with wall/busy time and top breakdown categories."""
+    rows = list(phases)
+    lines = ["== phases =="]
+    if not rows:
+        lines.append("  (no phases recorded)")
+        return "\n".join(lines)
+    for phase in rows:
+        wall_us = cycles_to_us(phase.wall_cycles)
+        busy_us = cycles_to_us(phase.busy_cycles)
+        top = sorted(phase.breakdown.items(), key=lambda kv: -kv[1])[:3]
+        detail = ", ".join(f"{k}={cycles_to_us(v):.1f}us" for k, v in top)
+        line = (f"  {phase.name:<10} wall={wall_us:>10.1f}us "
+                f"busy={busy_us:>10.1f}us")
+        if detail:
+            line += f"  [{detail}]"
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def render_trace_summary(tracer) -> str:
+    """Event counts per kind plus ring-buffer occupancy."""
+    lines = ["== trace =="]
+    if not getattr(tracer, "enabled", False):
+        lines.append("  (tracing disabled)")
+        return "\n".join(lines)
+    counts = tracer.counts_by_kind()
+    if not counts:
+        lines.append("  (no events)")
+    else:
+        width = max(len(k) for k in counts)
+        for kind in sorted(counts):
+            lines.append(f"  {kind:<{width}}  {counts[kind]:>8}")
+    dropped = getattr(tracer, "dropped", 0)
+    lines.append(f"  retained={len(tracer)} dropped={dropped}")
+    return "\n".join(lines)
+
+
+def render_observability_report(obs: Observability) -> str:
+    """Trace summary + phase table + metrics summary, in that order."""
+    return "\n".join([
+        render_trace_summary(obs.tracer),
+        render_phase_table(obs.phases),
+        render_metrics_summary(obs.metrics),
+    ])

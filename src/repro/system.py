@@ -21,6 +21,7 @@ from repro.iommu.iommu import Iommu
 from repro.kalloc.slab import KernelAllocators
 from repro.net.driver import NicDriver
 from repro.net.nic import Nic
+from repro.obs.context import Observability
 from repro.sim.costmodel import CostModel
 
 #: PCI-ish device id given to the NIC.
@@ -43,6 +44,8 @@ class SystemConfig:
     cost: Optional[CostModel] = None
     iotlb_capacity: int = 4096
     scheme_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Observability context (tracer + metrics); None → disabled.
+    obs: Optional[Observability] = None
 
     def resolved_queues(self) -> int:
         return self.nic_queues if self.nic_queues is not None else self.cores
@@ -68,7 +71,7 @@ class System:
         machine = Machine.build(cores=config.cores,
                                 numa_nodes=min(config.numa_nodes,
                                                config.cores),
-                                cost=config.cost)
+                                cost=config.cost, obs=config.obs)
         allocators = KernelAllocators(machine)
         iommu = (None if config.scheme == "no-iommu"
                  else Iommu(machine, iotlb_capacity=config.iotlb_capacity))

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.hw.cpu import CAT_COPY_USER, CAT_OTHER, Core
+from repro.obs.context import Observability
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, GeneratorTask, Scheduler
 from repro.sim.units import CPU_FREQ_HZ
@@ -78,6 +79,7 @@ class MemcachedConfig:
     use_copy_hints: bool = True
     cost: Optional[CostModel] = None
     scheme_kwargs: Dict[str, object] = field(default_factory=dict)
+    obs: Optional["Observability"] = None
 
 
 def run_memcached(cfg: MemcachedConfig) -> RunResult:
@@ -87,7 +89,8 @@ def run_memcached(cfg: MemcachedConfig) -> RunResult:
     stream_like = StreamConfig(scheme=cfg.scheme, cores=cfg.cores,
                                use_copy_hints=cfg.use_copy_hints,
                                cost=cfg.cost,
-                               scheme_kwargs=cfg.scheme_kwargs)
+                               scheme_kwargs=cfg.scheme_kwargs,
+                               obs=cfg.obs)
     system = _build_system(stream_like)
     machine, cost = system.machine, system.cost
 
@@ -165,18 +168,30 @@ def run_memcached(cfg: MemcachedConfig) -> RunResult:
                 totals["bytes"] += resp_bytes + (req and len(req))
             yield UNIT_DONE
 
+    obs = machine.obs
     machine.sync_clocks()
+    if obs.enabled:
+        obs.phase_begin("warmup", machine.wall_clock())
     Scheduler([GeneratorTask(core=c, gen=worker(c, cfg.warmup_transactions),
                              name=f"mc{c.cid}-warm")
-               for c in machine.cores]).run()
+               for c in machine.cores], obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores))
     machine.reset_accounting()
     start = machine.sync_clocks()
     for state in states.values():
         state.next_arrival = float(start)
     measuring["on"] = True
+    if obs.enabled:
+        obs.phase_begin("measure", start)
     total = cfg.warmup_transactions + cfg.transactions_per_core
     Scheduler([GeneratorTask(core=c, gen=worker(c, total),
-                             name=f"mc{c.cid}") for c in machine.cores]).run()
+                             name=f"mc{c.cid}") for c in machine.cores],
+              obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores))
 
     params = {"cores": cfg.cores, "value_size": cfg.value_size,
               "get_fraction": cfg.get_fraction}

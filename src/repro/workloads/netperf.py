@@ -26,6 +26,7 @@ from typing import Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.hw.cpu import CAT_COPY_USER, CAT_OTHER, Core, merge_breakdowns
 from repro.hw.locks import SharedResource
+from repro.obs.context import Observability
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, CoreTask, GeneratorTask, Scheduler
 from repro.sim.units import (
@@ -64,6 +65,7 @@ class StreamConfig:
     use_copy_hints: bool = True
     cost: Optional[CostModel] = None
     scheme_kwargs: Dict[str, object] = field(default_factory=dict)
+    obs: Optional[Observability] = None
 
     def __post_init__(self) -> None:
         if self.direction not in ("rx", "tx"):
@@ -79,6 +81,7 @@ def _build_system(cfg: StreamConfig, rx_buf_size: int = 2048) -> System:
         use_copy_hints=cfg.use_copy_hints,
         cost=cfg.cost,
         scheme_kwargs=dict(cfg.scheme_kwargs),
+        obs=cfg.obs,
     ))
     system.setup_queues()
     return system
@@ -112,6 +115,9 @@ def _collect(system: System, cfg_scheme: str, workload: str,
         result.extras["window_mean_us"] = cycles_to_us(
             sum(samples) / len(samples))
         result.extras["window_max_us"] = cycles_to_us(max(samples))
+    obs = machine.obs
+    if obs.enabled:
+        result.extras["metrics"] = obs.metrics.snapshot()
     return result
 
 
@@ -194,17 +200,32 @@ def run_tcp_stream_rx(cfg: StreamConfig) -> RunResult:
 
     # Warmup phase: a fixed unit count *per core*, so the measured phase
     # starts with every core holding the same amount of remaining work.
+    obs = machine.obs
     machine.sync_clocks()
+    if obs.enabled:
+        obs.phase_begin("warmup", machine.wall_clock())
     Scheduler([CoreTask(core=c, step=make_step(c, cfg.warmup_units),
-                        name=f"rx{c.cid}-warm") for c in machine.cores]).run()
+                        name=f"rx{c.cid}-warm") for c in machine.cores],
+              obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores),
+                      breakdown=dict(merge_breakdowns(machine.cores)))
     machine.reset_accounting()
     start = machine.sync_clocks()
     for state in states.values():
         state.next_arrival = float(start)
     measuring["on"] = True
+    if obs.enabled:
+        obs.phase_begin("measure", start)
     total = cfg.warmup_units + cfg.units_per_core
     Scheduler([CoreTask(core=c, step=make_step(c, total),
-                        name=f"rx{c.cid}") for c in machine.cores]).run()
+                        name=f"rx{c.cid}") for c in machine.cores],
+              obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores),
+                      breakdown=dict(merge_breakdowns(machine.cores)))
     params = {"message_size": cfg.message_size, "cores": cfg.cores,
               "direction": "rx"}
     result = _collect(system, cfg.scheme, "tcp_stream_rx", params,
@@ -292,16 +313,30 @@ def run_tcp_stream_tx(cfg: StreamConfig) -> RunResult:
                 totals["bytes"] += cfg.message_size
             yield UNIT_DONE
 
+    obs = machine.obs
     machine.sync_clocks()
+    if obs.enabled:
+        obs.phase_begin("warmup", machine.wall_clock())
     Scheduler([GeneratorTask(core=c, gen=worker(c, cfg.warmup_units),
                              name=f"tx{c.cid}-warm")
-               for c in machine.cores]).run()
+               for c in machine.cores], obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores),
+                      breakdown=dict(merge_breakdowns(machine.cores)))
     machine.reset_accounting()
     start = machine.sync_clocks()
     measuring["on"] = True
+    if obs.enabled:
+        obs.phase_begin("measure", start)
     total = cfg.warmup_units + cfg.units_per_core
     Scheduler([GeneratorTask(core=c, gen=worker(c, total),
-                             name=f"tx{c.cid}") for c in machine.cores]).run()
+                             name=f"tx{c.cid}") for c in machine.cores],
+              obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores),
+                      breakdown=dict(merge_breakdowns(machine.cores)))
     # The wire may still be draining the backlog when the last send
     # returns; throughput accounts for the drain.
     end = max(machine.wall_clock(), wire.busy_until)
@@ -345,6 +380,7 @@ class RRConfig:
     use_copy_hints: bool = True
     cost: Optional[CostModel] = None
     scheme_kwargs: Dict[str, object] = field(default_factory=dict)
+    obs: Optional[Observability] = None
 
 
 def run_tcp_rr(cfg: RRConfig) -> RunResult:
@@ -356,7 +392,8 @@ def run_tcp_rr(cfg: RRConfig) -> RunResult:
     stream_like = StreamConfig(scheme=cfg.scheme, cores=1,
                                use_copy_hints=cfg.use_copy_hints,
                                cost=cfg.cost,
-                               scheme_kwargs=cfg.scheme_kwargs)
+                               scheme_kwargs=cfg.scheme_kwargs,
+                               obs=cfg.obs)
     # LRO configuration: RR coalesces inbound frames into 16 KB buffers.
     system = _build_system(stream_like, rx_buf_size=16384)
     machine, cost = system.machine, system.cost
@@ -400,13 +437,26 @@ def run_tcp_rr(cfg: RRConfig) -> RunResult:
             payload_bytes += 2 * size
         core.advance_to(rtt_end)
 
+    obs = machine.obs
+    if obs.enabled:
+        obs.phase_begin("warmup", machine.wall_clock())
     for _ in range(cfg.warmup_transactions):
         transaction()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores),
+                      breakdown=dict(merge_breakdowns(machine.cores)))
     machine.reset_accounting()
     start = machine.sync_clocks()
     measuring = True
+    if obs.enabled:
+        obs.phase_begin("measure", start)
     for _ in range(cfg.transactions):
         transaction()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores),
+                      breakdown=dict(merge_breakdowns(machine.cores)))
 
     params = {"message_size": size, "cores": 1}
     result = _collect(system, cfg.scheme, "tcp_rr", params,

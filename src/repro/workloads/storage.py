@@ -28,6 +28,7 @@ from repro.hw.cpu import CAT_OTHER, Core, merge_breakdowns
 from repro.hw.machine import Machine
 from repro.iommu.iommu import Iommu
 from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.obs.context import Observability
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, GeneratorTask, Scheduler
 from repro.sim.units import CPU_FREQ_HZ, PAGE_SIZE, us_to_cycles
@@ -56,6 +57,7 @@ class StorageConfig:
     seed: int = 55
     cost: Optional[CostModel] = None
     scheme_kwargs: Dict[str, object] = field(default_factory=dict)
+    obs: Optional[Observability] = None
 
     def resolved_iops(self) -> float:
         if self.device_iops is not None:
@@ -77,7 +79,8 @@ def run_storage(cfg: StorageConfig) -> RunResult:
     if not 0.0 <= cfg.read_fraction <= 1.0:
         raise ConfigurationError("read_fraction must be in [0, 1]")
     machine = Machine.build(cores=cfg.cores,
-                            numa_nodes=min(2, cfg.cores), cost=cfg.cost)
+                            numa_nodes=min(2, cfg.cores), cost=cfg.cost,
+                            obs=cfg.obs)
     allocators = KernelAllocators(machine)
     iommu = None if cfg.scheme in ("no-iommu", "swiotlb") else Iommu(machine)
     api = create_dma_api(cfg.scheme, machine, iommu, _STORAGE_DEVICE_ID,
@@ -129,18 +132,30 @@ def run_storage(cfg: StorageConfig) -> RunResult:
                 totals["bytes"] += cfg.block_size
             yield UNIT_DONE
 
+    obs = machine.obs
     machine.sync_clocks()
+    if obs.enabled:
+        obs.phase_begin("warmup", machine.wall_clock())
     Scheduler([GeneratorTask(core=c, gen=worker(c, cfg.warmup_ops),
                              name=f"io{c.cid}-warm")
-               for c in machine.cores]).run()
+               for c in machine.cores], obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores))
     machine.reset_accounting()
     start = machine.sync_clocks()
     measuring["on"] = True
     total = cfg.warmup_ops + cfg.ops_per_core
+    if obs.enabled:
+        obs.phase_begin("measure", start)
     # Fresh generators continue against per-core state held in closures;
     # simplest is to run the measured quota directly.
     Scheduler([GeneratorTask(core=c, gen=worker(c, cfg.ops_per_core),
-                             name=f"io{c.cid}") for c in machine.cores]).run()
+                             name=f"io{c.cid}") for c in machine.cores],
+              obs=obs).run()
+    if obs.enabled:
+        obs.phase_end(machine.wall_clock(),
+                      busy_cycles=sum(c.busy_cycles for c in machine.cores))
 
     wall = machine.wall_clock() - start
     result = RunResult(
@@ -161,4 +176,6 @@ def run_storage(cfg: StorageConfig) -> RunResult:
     if iommu is not None:
         result.extras["sync_invalidations"] = \
             iommu.invalidation_queue.sync_invalidations
+    if obs.enabled:
+        result.extras["metrics"] = obs.metrics.snapshot()
     return result

@@ -123,3 +123,58 @@ def test_zero_byte_pool_limit():
     machine, _, pool = make_pool(max_pool_bytes=0)
     with pytest.raises(PoolExhaustedError):
         pool.acquire_shadow(machine.core(0), buf(), 100, Perm.READ)
+
+
+# ----------------------------------------------------------------------
+# Regression tests: pool resource-accounting bugs.
+# ----------------------------------------------------------------------
+def test_shrink_balances_grow_accounting():
+    """grow → acquire → release → shrink must end with both counters at
+    zero: shrink subtracts exactly what note_grow recorded (page-quantity
+    bytes *and* the buffer count)."""
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    metas = [pool.acquire_shadow(core, buf(size), size, rights)
+             for size in (1500, 4096, 65536)
+             for rights in (Perm.READ, Perm.WRITE)]
+    assert pool.stats.buffers_allocated == len(metas)
+    for meta in metas:
+        pool.release_shadow(core, meta)
+    pool.shrink(core)
+    assert pool.stats.bytes_allocated == 0
+    assert pool.stats.buffers_allocated == 0
+    assert pool.stats.grows == pool.stats.shrinks
+
+
+def test_retired_fallback_iova_returns_to_allocator():
+    """Retiring a fallback buffer must free its external IOVA range —
+    the allocator's outstanding count returns to zero and the exact
+    range is re-allocatable."""
+    machine, _, pool = make_pool(max_buffers_per_class=0)
+    core = machine.core(0)
+    metas = [pool.acquire_shadow(core, buf(), 4096, Perm.READ)
+             for _ in range(3)]
+    assert all(m.fallback for m in metas)
+    assert pool.fallback_iova.outstanding_ranges() == 3
+    bases = {m.iova & ~(PAGE_SIZE - 1) for m in metas}
+    for meta in metas:
+        pool.release_shadow(core, meta)
+    pool.shrink(core)
+    assert pool.fallback_iova.outstanding_ranges() == 0
+    # The magazine allocator recycles freed ranges: the next allocation
+    # reuses one of the retired bases.
+    assert pool.fallback_iova.alloc(1, core, 0x300000) in bases
+
+
+def test_migration_retires_old_metadata_and_count():
+    """Non-sticky migration must retire the old metadata slot and keep
+    the old list's buffer count balanced."""
+    machine, _, pool = make_pool(sticky=False)
+    owner, remote = machine.core(0), machine.core(1)
+    meta = pool.acquire_shadow(owner, buf(), 4096, Perm.READ)
+    old_iova = meta.iova
+    old_list = pool._lists[meta.list_key]
+    pool.release_shadow(remote, meta)
+    assert old_list.total_buffers == 0
+    with pytest.raises(PoolExhaustedError):
+        pool.find_shadow(owner, old_iova)

@@ -118,6 +118,26 @@ def test_domain_invalidation(cost):
     assert tlb.contains(2, 1)
 
 
+def test_window_boundary_counts_consistently(cost):
+    """Regression: a submission landing exactly on the concurrency-window
+    boundary must be either counted *and* retained, or evicted *and*
+    uncounted — eviction and counting share one predicate."""
+    from repro.iommu.invalidation import _CONCURRENCY_WINDOW_CYCLES
+
+    _, q = make_queue(cost, with_lock=False)
+    a = Core(cid=0, numa_node=0)
+    a.advance_to(1000)
+    q._note_submission(a)
+    boundary = 1000 + _CONCURRENCY_WINDOW_CYCLES
+    # Exactly on the boundary: still counted ...
+    assert q._window_concurrency(boundary) == 1
+    # ... and therefore not evicted.
+    assert len(q._recent) == 1
+    # One cycle later: evicted, and the count agrees.
+    assert q._window_concurrency(boundary + 1) == 0
+    assert len(q._recent) == 0
+
+
 def test_hardware_is_serialized_resource(cost):
     _, q = make_queue(cost, with_lock=False)
     a = Core(cid=0, numa_node=0)

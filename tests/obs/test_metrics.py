@@ -1,0 +1,106 @@
+"""Metrics registry tests: counters, cycle histograms, time series."""
+
+import pytest
+
+from repro.obs.metrics import (
+    CycleHistogram,
+    MetricCounter,
+    MetricsRegistry,
+    TimeSeries,
+)
+
+
+def test_counter_increments():
+    counter = MetricCounter("x")
+    counter.inc()
+    counter.inc(5)
+    assert counter.value == 6
+
+
+def test_histogram_exact_stats():
+    hist = CycleHistogram("lat")
+    for v in (100, 200, 400):
+        hist.observe(v)
+    assert hist.count == 3
+    assert hist.min == 100
+    assert hist.max == 400
+    assert hist.mean == pytest.approx(700 / 3)
+
+
+def test_histogram_buckets_are_log2_upper_bounds():
+    hist = CycleHistogram("lat")
+    hist.observe(0)
+    hist.observe(1)
+    hist.observe(2)
+    hist.observe(100)   # 64 < 100 <= 128
+    assert dict(hist.nonzero_buckets()) == {1: 2, 2: 1, 128: 1}
+
+
+def test_histogram_percentiles_are_upper_bounds():
+    hist = CycleHistogram("lat")
+    for _ in range(99):
+        hist.observe(100)          # bucket upper bound 128
+    hist.observe(1000)             # bucket upper bound 1024
+    assert hist.percentile(50) == 128
+    assert hist.percentile(99) == 128
+    # The top percentile is clamped to the exact observed max.
+    assert hist.percentile(100) == 1000
+    with pytest.raises(ValueError):
+        hist.percentile(0)
+
+
+def test_histogram_rejects_negative_values():
+    with pytest.raises(ValueError):
+        CycleHistogram("lat").observe(-1)
+
+
+def test_histogram_summary_shape():
+    hist = CycleHistogram("lat")
+    assert hist.percentile(50) == 0  # empty histogram answers zero
+    hist.observe(8)
+    summary = hist.summary()
+    assert summary == {"count": 1, "mean": 8.0, "min": 8,
+                       "p50": 8, "p90": 8, "p99": 8, "max": 8}
+
+
+def test_time_series_decimates_by_halving():
+    series = TimeSeries("occ", max_samples=8)
+    for t in range(64):
+        series.sample(t, t * 10)
+    # Bounded, time-ordered, and still spanning the whole run.
+    assert len(series.samples) < 8
+    times = [t for t, _ in series.samples]
+    assert times == sorted(times)
+    assert series.last == series.samples[-1][1]
+    summary = series.summary()
+    assert summary["samples"] == len(series.samples)
+    assert summary["min"] <= summary["mean"] <= summary["max"]
+
+
+def test_time_series_empty_summary():
+    assert TimeSeries("x").summary() == {"samples": 0}
+    assert TimeSeries("x").last is None
+
+
+def test_registry_creates_on_demand_and_reuses():
+    registry = MetricsRegistry()
+    counter = registry.counter("a")
+    assert registry.counter("a") is counter
+    hist = registry.histogram("h")
+    assert registry.histogram("h") is hist
+    series = registry.series("s")
+    assert registry.series("s") is series
+
+
+def test_registry_snapshot_is_json_friendly():
+    import json
+
+    registry = MetricsRegistry()
+    registry.counter("c").inc(3)
+    registry.histogram("h").observe(10)
+    registry.series("s").sample(0, 1)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"c": 3}
+    assert snap["histograms"]["h"]["count"] == 1
+    assert snap["series"]["s"]["samples"] == 1
+    json.dumps(snap)  # must serialize without custom encoders

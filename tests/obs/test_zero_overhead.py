@@ -1,0 +1,66 @@
+"""Tracing must never perturb the simulation.
+
+The whole observability layer records in *host* memory and charges no
+simulated cycles, so:
+
+* a run with the default (null) context is byte-identical to one with an
+  explicitly passed NullTracer context, and
+* a fully *traced* run reproduces the exact cycle numbers of an untraced
+  run — the trace is a pure observer.
+"""
+
+from repro.obs.context import Observability
+from repro.obs.trace import (
+    EV_DMA_MAP,
+    EV_INV_SUBMIT,
+    EV_LOCK_ACQUIRE,
+    NullTracer,
+)
+from repro.stats.export import to_json
+from repro.workloads.netperf import RRConfig, StreamConfig, run_tcp_rr, \
+    run_tcp_stream_rx
+
+_RR = dict(scheme="copy", message_size=64, transactions=40,
+           warmup_transactions=10)
+
+
+def test_null_tracer_run_is_byte_identical():
+    bare = run_tcp_rr(RRConfig(**_RR))
+    nulled = run_tcp_rr(RRConfig(**_RR,
+                                 obs=Observability(tracer=NullTracer())))
+    assert to_json([bare]) == to_json([nulled])
+    assert bare.extras == nulled.extras
+
+
+def test_traced_run_is_cycle_identical():
+    bare = run_tcp_rr(RRConfig(**_RR))
+    obs = Observability.capture()
+    traced = run_tcp_rr(RRConfig(**_RR, obs=obs))
+    assert traced.wall_cycles == bare.wall_cycles
+    assert traced.busy_cycles == bare.busy_cycles
+    assert traced.breakdown_cycles == bare.breakdown_cycles
+    assert traced.latency_us == bare.latency_us
+    assert traced.units == bare.units
+    # The only divergence is the attached metrics snapshot.
+    assert "metrics" in traced.extras and "metrics" not in bare.extras
+    # And the observer actually observed: the strict copy scheme's RR run
+    # must produce lock, invalidation, and DMA events.
+    kinds = obs.tracer.counts_by_kind()
+    assert kinds[EV_DMA_MAP] > 0
+    assert kinds[EV_LOCK_ACQUIRE] > 0
+    assert kinds[EV_INV_SUBMIT] > 0
+    hist = obs.metrics.histograms["invalidation.latency_cycles"]
+    assert hist.count > 0
+
+
+def test_traced_stream_identical_under_contention():
+    """identity-strict at 2 cores contends the qi lock; tracing the
+    contention must not change it."""
+    cfg = dict(scheme="identity-strict", direction="rx", cores=2,
+               message_size=16384, units_per_core=60, warmup_units=15)
+    bare = run_tcp_stream_rx(StreamConfig(**cfg))
+    traced = run_tcp_stream_rx(StreamConfig(
+        **cfg, obs=Observability.capture()))
+    assert traced.wall_cycles == bare.wall_cycles
+    assert traced.busy_cycles == bare.busy_cycles
+    assert traced.breakdown_cycles == bare.breakdown_cycles

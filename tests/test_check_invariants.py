@@ -1,0 +1,20 @@
+"""The benchmarks/check_invariants.py smoke script must pass (CI hook)."""
+
+import os
+import subprocess
+import sys
+
+SCRIPT = os.path.join(os.path.dirname(__file__), os.pardir,
+                      "benchmarks", "check_invariants.py")
+
+
+def test_check_invariants_passes():
+    result = subprocess.run(
+        [sys.executable, SCRIPT], capture_output=True, text=True,
+        timeout=180, env={**os.environ},
+    )
+    assert result.returncode == 0, (
+        f"check_invariants failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}"
+    )
+    assert "all invariants hold" in result.stdout

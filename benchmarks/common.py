@@ -1,120 +1,34 @@
-"""Shared helpers for the figure/table benchmarks.
+"""Shared helpers for the figure/table benchmarks (shim).
 
-Each ``bench_*.py`` regenerates one table or figure of the paper: it runs
-the corresponding workload sweep inside the simulator, renders the same
-rows/series the paper reports, prints them, and writes them to
-``benchmarks/results/<name>.txt``.  Headline numbers are attached to
-pytest-benchmark's ``extra_info`` so ``--benchmark-only`` output carries
-them too.
-
-The sweeps are deterministic; pytest-benchmark's timing of the sweep
-itself is incidental (it measures simulator runtime, not the modeled
-system), so benches run with ``rounds=1``.
+The sweep helpers moved into :mod:`repro.bench.runner` — the engine
+behind ``python -m repro bench`` — and this module re-exports them so
+every ``bench_*.py`` keeps its import surface.  Reports and CSVs still
+land in ``benchmarks/results/`` next to this file.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Sequence
 
-from repro.stats.export import write_csv
-from repro.stats.results import RunResult
-from repro.workloads.netperf import (
-    PAPER_MESSAGE_SIZES,
-    RRConfig,
-    StreamConfig,
-    run_tcp_rr,
-    run_tcp_stream_rx,
-    run_tcp_stream_tx,
+from repro.bench.runner import (  # noqa: F401
+    FIGURE_SCHEMES,
+    UNITS_MULTI_CORE,
+    UNITS_SINGLE_CORE,
+    WARMUP,
+    relative,
+    rr_sweep,
+    run_once,
+    stream_sweep,
 )
+from repro.bench.runner import save_csv as _save_csv
+from repro.bench.runner import save_report as _save_report
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
-#: The four systems of the paper's figures, in the legend's order.
-FIGURE_SCHEMES = ("no-iommu", "copy", "identity-deferred", "identity-strict")
-
-#: Work per configuration.  Sized for steady state at tolerable runtime;
-#: override through the REPRO_BENCH_UNITS environment variable.
-UNITS_SINGLE_CORE = int(os.environ.get("REPRO_BENCH_UNITS", "1200"))
-UNITS_MULTI_CORE = int(os.environ.get("REPRO_BENCH_UNITS_MC", "350"))
-WARMUP = 120
-
 
 def save_report(name: str, text: str) -> str:
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.txt")
-    with open(path, "w") as fh:
-        fh.write(text + "\n")
-    print()
-    print(text)
-    return path
+    return _save_report(name, text, results_dir=RESULTS_DIR)
 
 
 def save_csv(name: str, results) -> str:
-    """Write the raw RunResults behind a figure as CSV (for plotting).
-
-    Accepts a dict of scheme -> [RunResult] (figure sweeps), a dict of
-    scheme -> RunResult (breakdowns/bars), or a flat list.
-    """
-    flat = []
-    if isinstance(results, dict):
-        for value in results.values():
-            flat.extend(value if isinstance(value, list) else [value])
-    else:
-        flat = list(results)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    path = os.path.join(RESULTS_DIR, f"{name}.csv")
-    write_csv(flat, path)
-    return path
-
-
-def stream_sweep(direction: str, cores: int,
-                 schemes: Sequence[str] = FIGURE_SCHEMES,
-                 sizes: Sequence[int] = PAPER_MESSAGE_SIZES,
-                 **config_kwargs) -> Dict[str, List[RunResult]]:
-    """Run a Figure 3/4/6/7-style sweep: schemes × message sizes."""
-    units = UNITS_SINGLE_CORE if cores == 1 else UNITS_MULTI_CORE
-    runner = run_tcp_stream_rx if direction == "rx" else run_tcp_stream_tx
-    results: Dict[str, List[RunResult]] = {}
-    for scheme in schemes:
-        results[scheme] = [
-            runner(StreamConfig(scheme=scheme, direction=direction,
-                                message_size=size, cores=cores,
-                                units_per_core=units, warmup_units=WARMUP,
-                                **config_kwargs))
-            for size in sizes
-        ]
-    return results
-
-
-def rr_sweep(schemes: Sequence[str] = FIGURE_SCHEMES,
-             sizes: Sequence[int] = PAPER_MESSAGE_SIZES,
-             transactions: int = 300) -> Dict[str, List[RunResult]]:
-    """Run the Figure 9/10 request/response sweep."""
-    return {
-        scheme: [run_tcp_rr(RRConfig(scheme=scheme, message_size=size,
-                                     transactions=transactions,
-                                     warmup_transactions=40))
-                 for size in sizes]
-        for scheme in schemes
-    }
-
-
-def relative(results: Dict[str, List[RunResult]], scheme: str, size: int,
-             baseline: str = "no-iommu", what: str = "throughput") -> float:
-    """Relative throughput/CPU of ``scheme`` at ``size`` vs ``baseline``."""
-    def at(s):
-        for r in results[s]:
-            if r.params["message_size"] == size:
-                return r
-        raise KeyError(size)
-
-    a, b = at(scheme), at(baseline)
-    if what == "throughput":
-        return a.throughput_gbps / b.throughput_gbps if b.throughput_gbps else 0
-    return a.cpu_utilization / b.cpu_utilization if b.cpu_utilization else 0
-
-
-def run_once(benchmark, fn: Callable[[], object]):
-    """Execute a sweep exactly once under pytest-benchmark."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    return _save_csv(name, results, results_dir=RESULTS_DIR)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""One-shot smoke target: invariants + quick bench + regression gate.
+
+Runs, in order, in well under a minute:
+
+1. the resource-accounting invariant checks
+   (:mod:`repro.bench.invariants`), then
+2. the quick figure registry (``python -m repro bench --quick``) gated
+   against the checked-in ``benchmarks/results/baseline.json``.
+
+Exit status 0 means both passed.  Regenerate the baseline after an
+*intended* performance change with::
+
+    PYTHONPATH=src python -m repro bench --quick
+    cp benchmarks/results/BENCH_<latest>.json benchmarks/results/baseline.json
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+try:
+    from repro.bench import invariants
+    from repro.bench.runner import run_bench
+except ImportError:
+    sys.exit("error: the 'repro' package is not importable; run with "
+             "PYTHONPATH=src (from the repository root) or install it")
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", "baseline.json")
+
+
+def main() -> int:
+    print("== invariants ==")
+    status = invariants.main()
+    if status:
+        return status
+    print()
+    print("== quick bench (gated against baseline.json) ==")
+    baseline = BASELINE if os.path.exists(BASELINE) else None
+    if baseline is None:
+        print(f"note: no baseline at {BASELINE}; running ungated",
+              file=sys.stderr)
+    return run_bench(mode="quick", baseline=baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Regression gating: compare a bench record against a baseline.
+
+The gate matches series points between two records by
+``(figure, scheme, workload, cores, param_*)``, applies per-metric
+tolerance bands, and fails (exit status 1) when any matched point
+regressed beyond tolerance.  For each regressed point it walks the two
+span-attribution trees and names the subtree whose share of the run grew
+the most — "`dma_unmap → lock_wait` went from 12% to 31%" is the
+actionable sentence, not "throughput dropped".
+
+The simulation is deterministic, so within one code version the
+comparison is exact; the tolerance bands absorb intended small shifts
+across versions (cost-model tweaks, workload refinements) while still
+catching order-of-magnitude mistakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import SpanNode
+from repro.stats.timeline import render_span_tree
+
+#: metric name -> (higher_is_better, relative tolerance).  A point
+#: regresses when it moves beyond the tolerance in the *bad* direction;
+#: improvements never trip the gate.
+DEFAULT_TOLERANCES: Dict[str, Tuple[bool, float]] = {
+    "throughput_gbps": (True, 0.05),
+    "us_per_unit": (False, 0.05),
+    "latency_us": (False, 0.05),
+    "transactions_per_sec": (True, 0.05),
+}
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One tolerance-band violation."""
+
+    figure: str
+    scheme: str
+    key: str
+    metric: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Signed relative change, current vs baseline."""
+        if not self.baseline:
+            return 0.0
+        return (self.current - self.baseline) / self.baseline
+
+
+def _row_key(row: Dict) -> Tuple:
+    params = tuple(sorted((k, v) for k, v in row.items()
+                          if k.startswith("param_")))
+    return (row.get("scheme"), row.get("workload"), row.get("cores"),
+            params)
+
+
+def _key_label(key: Tuple) -> str:
+    scheme, workload, cores, params = key
+    detail = ", ".join(f"{k[len('param_'):]}={v}" for k, v in params)
+    return f"{scheme} {workload} cores={cores} ({detail})"
+
+
+def compare_records(baseline: Dict, current: Dict,
+                    tolerances: Optional[Dict[str, Tuple[bool, float]]]
+                    = None) -> List[Regression]:
+    """All tolerance violations between two records.
+
+    Only points present in both records are compared, so a ``--only``
+    or quick-mode run gates just the figures it ran.
+    """
+    tol = tolerances if tolerances is not None else DEFAULT_TOLERANCES
+    regressions: List[Regression] = []
+    base_figures = baseline.get("figures", {})
+    for fig_name, cur_fig in current.get("figures", {}).items():
+        base_fig = base_figures.get(fig_name)
+        if base_fig is None:
+            continue
+        base_rows = {_row_key(row): row
+                     for row in base_fig.get("series", ())}
+        for row in cur_fig.get("series", ()):
+            key = _row_key(row)
+            base_row = base_rows.get(key)
+            if base_row is None:
+                continue
+            for metric, (higher_is_better, band) in tol.items():
+                base_val = base_row.get(metric)
+                cur_val = row.get(metric)
+                if base_val is None or cur_val is None or not base_val:
+                    continue
+                change = (cur_val - base_val) / base_val
+                bad = -change if higher_is_better else change
+                if bad > band:
+                    regressions.append(Regression(
+                        figure=fig_name, scheme=str(row.get("scheme")),
+                        key=_key_label(key), metric=metric,
+                        baseline=float(base_val), current=float(cur_val)))
+    return regressions
+
+
+# ----------------------------------------------------------------------
+# Span attribution of a regression.
+# ----------------------------------------------------------------------
+def _shares(tree: SpanNode) -> Dict[Tuple[str, ...], float]:
+    """Each path's share of the tree's total cycles."""
+    total = tree.total_cycles or tree.child_cycles
+    if not total:
+        return {}
+    return {path[1:]: node.total_cycles / total
+            for path, node in tree.walk() if len(path) > 1}
+
+
+def blame_span(base_tree: SpanNode,
+               cur_tree: SpanNode) -> Optional[Tuple[Tuple[str, ...],
+                                                     float, float]]:
+    """The span path whose share of the run grew the most.
+
+    Returns ``(path, baseline_share, current_share)`` or ``None`` when
+    no path grew.  Shares (fractions of total cycles) rather than raw
+    cycles keep the verdict meaningful across quick/full scales.
+    """
+    base_shares = _shares(base_tree)
+    cur_shares = _shares(cur_tree)
+    best: Optional[Tuple[Tuple[str, ...], float, float]] = None
+    best_delta = 0.0
+    for path, cur_share in cur_shares.items():
+        base_share = base_shares.get(path, 0.0)
+        delta = cur_share - base_share
+        if delta > best_delta:
+            best_delta = delta
+            best = (path, base_share, cur_share)
+    return best
+
+
+def _span_verdict(baseline: Dict, current: Dict,
+                  regression: Regression) -> str:
+    base_spans = (baseline.get("figures", {})
+                  .get(regression.figure, {}).get("spans", {}))
+    cur_spans = (current.get("figures", {})
+                 .get(regression.figure, {}).get("spans", {}))
+    base_data = base_spans.get(regression.scheme)
+    cur_data = cur_spans.get(regression.scheme)
+    if base_data is None or cur_data is None:
+        return "    (no span data to attribute the regression)"
+    base_tree = SpanNode.from_dict(base_data)
+    cur_tree = SpanNode.from_dict(cur_data)
+    blamed = blame_span(base_tree, cur_tree)
+    if blamed is None:
+        return "    (no span subtree grew; attribution inconclusive)"
+    path, base_share, cur_share = blamed
+    lines = [f"    offending span subtree: {' -> '.join(path)} "
+             f"({base_share:.1%} of cycles -> {cur_share:.1%})"]
+    node = cur_tree
+    for name in path:
+        node = node.children[name]
+    subtree = render_span_tree(node)
+    lines.extend("    " + line for line in subtree.splitlines()[1:])
+    return "\n".join(lines)
+
+
+def render_gate_report(baseline: Dict, current: Dict,
+                       regressions: List[Regression]) -> str:
+    """Human-readable verdict for the whole comparison."""
+    base_fp = baseline.get("fingerprint", {})
+    cur_fp = current.get("fingerprint", {})
+    lines = [
+        "== regression gate ==",
+        f"baseline: sha={base_fp.get('git_sha', '?')[:12]} "
+        f"mode={base_fp.get('mode', '?')}",
+        f"current : sha={cur_fp.get('git_sha', '?')[:12]} "
+        f"mode={cur_fp.get('mode', '?')}",
+    ]
+    if base_fp.get("mode") != cur_fp.get("mode"):
+        lines.append("warning: comparing records of different modes; "
+                     "only shared points are gated")
+    if base_fp.get("cost_model") != cur_fp.get("cost_model"):
+        lines.append("warning: cost-model constants differ between "
+                     "baseline and current")
+    if not regressions:
+        lines.append("PASS: no metric regressed beyond tolerance")
+        return "\n".join(lines)
+    lines.append(f"FAIL: {len(regressions)} regression(s)")
+    for reg in regressions:
+        lines.append(
+            f"  {reg.figure} {reg.key}: {reg.metric} "
+            f"{reg.baseline:g} -> {reg.current:g} ({reg.change:+.1%})")
+        lines.append(_span_verdict(baseline, current, reg))
+    return "\n".join(lines)
+
+
+def gate_against_baseline(baseline_path: str, current: Dict,
+                          tolerances: Optional[Dict[str,
+                                                    Tuple[bool, float]]]
+                          = None) -> int:
+    """Compare, print the verdict, return the exit status (0/1)."""
+    from repro.bench.record import load_record
+
+    baseline = load_record(baseline_path)
+    regressions = compare_records(baseline, current, tolerances)
+    print(render_gate_report(baseline, current, regressions))
+    return 1 if regressions else 0

@@ -1,0 +1,491 @@
+"""The unified benchmark runner behind ``python -m repro bench``.
+
+Two layers live here:
+
+1. **Sweep helpers** (``stream_sweep``, ``rr_sweep``, ``relative``,
+   ``save_report``, ``save_csv``) — shared by the per-figure
+   ``benchmarks/bench_fig*.py`` scripts, which import them through the
+   ``benchmarks/common.py`` shim exactly as before.
+2. **The figure registry + runner** — every figure/table of the paper as
+   a :class:`FigureSpec` that runs at a selectable scale
+   (:data:`QUICK_SCALE` / :data:`FULL_SCALE`), captures span-attribution
+   trees per scheme, and feeds one fingerprinted record
+   (:mod:`repro.bench.record`) plus the optional regression gate
+   (:mod:`repro.bench.regression`).
+
+Every run in the registry executes under a capturing
+:class:`~repro.obs.context.Observability`; the zero-overhead guarantee
+(``tests/obs/test_zero_overhead.py``) means the numbers are identical to
+an uninstrumented run, so span capture is unconditionally on here.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.context import Observability
+from repro.obs.spans import SpanNode, merge_span_trees
+from repro.stats.export import result_to_row, write_csv
+from repro.stats.reporting import (
+    render_breakdown_table,
+    render_latency_table,
+    render_memcached_table,
+    render_throughput_table,
+)
+from repro.stats.results import RunResult
+from repro.stats.timeline import render_span_tree
+from repro.workloads.memcached import MemcachedConfig, run_memcached
+from repro.workloads.netperf import (
+    PAPER_MESSAGE_SIZES,
+    RRConfig,
+    StreamConfig,
+    run_tcp_rr,
+    run_tcp_stream_rx,
+    run_tcp_stream_tx,
+)
+from repro.workloads.storage import StorageConfig, run_storage
+
+#: The four systems of the paper's figures, in the legend's order.
+FIGURE_SCHEMES = ("no-iommu", "copy", "identity-deferred", "identity-strict")
+
+#: Work per configuration for the legacy per-figure scripts.  Sized for
+#: steady state at tolerable runtime; override through the environment.
+UNITS_SINGLE_CORE = int(os.environ.get("REPRO_BENCH_UNITS", "1200"))
+UNITS_MULTI_CORE = int(os.environ.get("REPRO_BENCH_UNITS_MC", "350"))
+WARMUP = 120
+
+#: Ring capacity for bench-mode capture.  Spans and metrics aggregate in
+#: place; the event ring is only kept small and warm so record extras
+#: stay cheap.
+_TRACE_CAPACITY = 256
+
+
+def default_results_dir() -> str:
+    """Where reports/records land: ``$REPRO_BENCH_RESULTS`` or
+    ``benchmarks/results`` under the current directory."""
+    return (os.environ.get("REPRO_BENCH_RESULTS")
+            or os.path.join(os.getcwd(), "benchmarks", "results"))
+
+
+def save_report(name: str, text: str,
+                results_dir: Optional[str] = None) -> str:
+    out = results_dir or default_results_dir()
+    os.makedirs(out, exist_ok=True)
+    path = os.path.join(out, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print()
+    print(text)
+    return path
+
+
+def save_csv(name: str, results,
+             results_dir: Optional[str] = None) -> str:
+    """Write the raw RunResults behind a figure as CSV (for plotting).
+
+    Accepts a dict of scheme -> [RunResult] (figure sweeps), a dict of
+    scheme -> RunResult (breakdowns/bars), or a flat list.
+    """
+    flat = _flatten(results)
+    out = results_dir or default_results_dir()
+    os.makedirs(out, exist_ok=True)
+    path = os.path.join(out, f"{name}.csv")
+    write_csv(flat, path)
+    return path
+
+
+def _flatten(results) -> List[RunResult]:
+    flat: List[RunResult] = []
+    if isinstance(results, dict):
+        for value in results.values():
+            flat.extend(value if isinstance(value, list) else [value])
+    else:
+        flat = list(results)
+    return flat
+
+
+def stream_sweep(direction: str, cores: int,
+                 schemes: Sequence[str] = FIGURE_SCHEMES,
+                 sizes: Sequence[int] = PAPER_MESSAGE_SIZES,
+                 **config_kwargs) -> Dict[str, List[RunResult]]:
+    """Run a Figure 3/4/6/7-style sweep: schemes × message sizes."""
+    units = UNITS_SINGLE_CORE if cores == 1 else UNITS_MULTI_CORE
+    runner = run_tcp_stream_rx if direction == "rx" else run_tcp_stream_tx
+    results: Dict[str, List[RunResult]] = {}
+    for scheme in schemes:
+        results[scheme] = [
+            runner(StreamConfig(scheme=scheme, direction=direction,
+                                message_size=size, cores=cores,
+                                units_per_core=units, warmup_units=WARMUP,
+                                **config_kwargs))
+            for size in sizes
+        ]
+    return results
+
+
+def rr_sweep(schemes: Sequence[str] = FIGURE_SCHEMES,
+             sizes: Sequence[int] = PAPER_MESSAGE_SIZES,
+             transactions: int = 300) -> Dict[str, List[RunResult]]:
+    """Run the Figure 9/10 request/response sweep."""
+    return {
+        scheme: [run_tcp_rr(RRConfig(scheme=scheme, message_size=size,
+                                     transactions=transactions,
+                                     warmup_transactions=40))
+                 for size in sizes]
+        for scheme in schemes
+    }
+
+
+def relative(results: Dict[str, List[RunResult]], scheme: str, size: int,
+             baseline: str = "no-iommu", what: str = "throughput") -> float:
+    """Relative throughput/CPU of ``scheme`` at ``size`` vs ``baseline``."""
+    def at(s):
+        for r in results[s]:
+            if r.params["message_size"] == size:
+                return r
+        raise KeyError(size)
+
+    a, b = at(scheme), at(baseline)
+    if what == "throughput":
+        return a.throughput_gbps / b.throughput_gbps if b.throughput_gbps else 0
+    return a.cpu_utilization / b.cpu_utilization if b.cpu_utilization else 0
+
+
+def run_once(benchmark, fn: Callable[[], object]):
+    """Execute a sweep exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Scales: how much work each registry figure does.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BenchScale:
+    """One sizing preset for the figure registry."""
+
+    name: str
+    units_single: int
+    units_multi: int
+    warmup_single: int
+    warmup_multi: int
+    multi_cores: int
+    sizes_single: Tuple[int, ...]
+    sizes_multi: Tuple[int, ...]
+    breakdown_size: int
+    rr_sizes: Tuple[int, ...]
+    rr_transactions: int
+    rr_warmup: int
+    memcached_cores: int
+    memcached_tpc: int
+    memcached_warmup: int
+    storage_block_sizes: Tuple[int, ...]
+    storage_ops: int
+    storage_warmup: int
+
+
+#: ``--quick``: every figure in miniature; the whole registry plus the
+#: invariant checks fits the <60 s smoke budget (``benchmarks/smoke.py``).
+QUICK_SCALE = BenchScale(
+    name="quick",
+    units_single=200, units_multi=50,
+    warmup_single=40, warmup_multi=15,
+    multi_cores=16,
+    sizes_single=(1024, 16384, 65536),
+    sizes_multi=(16384,),
+    breakdown_size=65536,
+    rr_sizes=(1024, 65536),
+    rr_transactions=60, rr_warmup=10,
+    memcached_cores=8, memcached_tpc=40, memcached_warmup=10,
+    storage_block_sizes=(4096, 65536),
+    storage_ops=100, storage_warmup=20,
+)
+
+#: ``--full``: the sizes the per-figure scripts use for the paper tables.
+FULL_SCALE = BenchScale(
+    name="full",
+    units_single=1200, units_multi=350,
+    warmup_single=120, warmup_multi=120,
+    multi_cores=16,
+    sizes_single=PAPER_MESSAGE_SIZES,
+    sizes_multi=PAPER_MESSAGE_SIZES,
+    breakdown_size=65536,
+    rr_sizes=PAPER_MESSAGE_SIZES,
+    rr_transactions=300, rr_warmup=40,
+    memcached_cores=16, memcached_tpc=450, memcached_warmup=100,
+    storage_block_sizes=(4096, 65536, 262144),
+    storage_ops=400, storage_warmup=60,
+)
+
+
+# ----------------------------------------------------------------------
+# Captured runs: every registry run records spans.
+# ----------------------------------------------------------------------
+def _captured(runner: Callable, config) -> Tuple[RunResult, SpanNode]:
+    obs = Observability.capture(trace_capacity=_TRACE_CAPACITY)
+    config.obs = obs
+    result = runner(config)
+    return result, obs.spans.tree()
+
+
+def _series_rows(figure: str,
+                 results: Dict[str, List[RunResult]]) -> List[dict]:
+    rows = []
+    for per_scheme in results.values():
+        for result in per_scheme:
+            row = result_to_row(result)
+            row["figure"] = figure
+            rows.append(row)
+    return rows
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One registry entry: a named figure and how to run it."""
+
+    name: str
+    title: str
+    build: Callable[[BenchScale], dict]
+
+
+def _figure_data(spec_name: str, title: str,
+                 results: Dict[str, List[RunResult]],
+                 spans: Dict[str, SpanNode], report: str) -> dict:
+    return {
+        "title": title,
+        "series": _series_rows(spec_name, results),
+        "spans": {scheme: tree.to_dict() for scheme, tree in spans.items()},
+        "report": report,
+    }
+
+
+def _stream_figure(name: str, title: str, direction: str,
+                   multi: bool, breakdown: bool = False) -> FigureSpec:
+    def build(scale: BenchScale) -> dict:
+        cores = scale.multi_cores if multi else 1
+        units = scale.units_multi if multi else scale.units_single
+        warmup = scale.warmup_multi if multi else scale.warmup_single
+        if breakdown:
+            sizes: Tuple[int, ...] = (scale.breakdown_size,)
+        else:
+            sizes = scale.sizes_multi if multi else scale.sizes_single
+        runner = run_tcp_stream_rx if direction == "rx" \
+            else run_tcp_stream_tx
+        results: Dict[str, List[RunResult]] = {}
+        spans: Dict[str, SpanNode] = {}
+        for scheme in FIGURE_SCHEMES:
+            runs, trees = [], []
+            for size in sizes:
+                result, tree = _captured(runner, StreamConfig(
+                    scheme=scheme, direction=direction, message_size=size,
+                    cores=cores, units_per_core=units, warmup_units=warmup))
+                runs.append(result)
+                trees.append(tree)
+            results[scheme] = runs
+            spans[scheme] = merge_span_trees(trees)
+        if breakdown:
+            report = render_breakdown_table(
+                {s: rs[0] for s, rs in results.items()}, title=title)
+        else:
+            report = render_throughput_table(results, title=title)
+        return _figure_data(name, title, results, spans, report)
+
+    return FigureSpec(name=name, title=title, build=build)
+
+
+def _fig01_build(scale: BenchScale) -> dict:
+    """Protection cost overview: RX at 16 KB on 1 and N cores."""
+    results: Dict[str, List[RunResult]] = {}
+    spans: Dict[str, SpanNode] = {}
+    for scheme in FIGURE_SCHEMES:
+        runs, trees = [], []
+        for cores in (1, scale.multi_cores):
+            units = scale.units_single if cores == 1 else scale.units_multi
+            warmup = (scale.warmup_single if cores == 1
+                      else scale.warmup_multi)
+            result, tree = _captured(run_tcp_stream_rx, StreamConfig(
+                scheme=scheme, message_size=16384, cores=cores,
+                units_per_core=units, warmup_units=warmup))
+            runs.append(result)
+            trees.append(tree)
+        results[scheme] = runs
+        spans[scheme] = merge_span_trees(trees)
+    lines = [_FIG01_TITLE,
+             f"  {'scheme':<20}{'cores':>6}{'Gb/s':>10}{'us/unit':>10}"]
+    for scheme, runs in results.items():
+        for result in runs:
+            lines.append(f"  {scheme:<20}{result.cores:>6}"
+                         f"{result.throughput_gbps:>10.2f}"
+                         f"{result.us_per_unit:>10.3f}")
+    return _figure_data("fig01", _FIG01_TITLE, results, spans,
+                        "\n".join(lines))
+
+
+_FIG01_TITLE = "Figure 1: IOMMU protection cost, RX 16KB, 1 vs N cores"
+
+
+def _fig09_build(scale: BenchScale) -> dict:
+    results: Dict[str, List[RunResult]] = {}
+    spans: Dict[str, SpanNode] = {}
+    for scheme in FIGURE_SCHEMES:
+        runs, trees = [], []
+        for size in scale.rr_sizes:
+            result, tree = _captured(run_tcp_rr, RRConfig(
+                scheme=scheme, message_size=size,
+                transactions=scale.rr_transactions,
+                warmup_transactions=scale.rr_warmup))
+            runs.append(result)
+            trees.append(tree)
+        results[scheme] = runs
+        spans[scheme] = merge_span_trees(trees)
+    report = render_latency_table(
+        results, title="Figure 9: TCP_RR latency (netperf TCP_RR)")
+    return _figure_data("fig09", "Figure 9: TCP_RR latency",
+                        results, spans, report)
+
+
+def _fig10_build(scale: BenchScale) -> dict:
+    results: Dict[str, List[RunResult]] = {}
+    spans: Dict[str, SpanNode] = {}
+    for scheme in FIGURE_SCHEMES:
+        result, tree = _captured(run_tcp_rr, RRConfig(
+            scheme=scheme, message_size=scale.breakdown_size,
+            transactions=scale.rr_transactions,
+            warmup_transactions=scale.rr_warmup))
+        results[scheme] = [result]
+        spans[scheme] = tree
+    report = render_breakdown_table(
+        {s: rs[0] for s, rs in results.items()},
+        title="Figure 10: TCP_RR CPU breakdown per transaction [us], 64KB")
+    return _figure_data("fig10", "Figure 10: TCP_RR CPU breakdown",
+                        results, spans, report)
+
+
+def _fig11_build(scale: BenchScale) -> dict:
+    results: Dict[str, List[RunResult]] = {}
+    spans: Dict[str, SpanNode] = {}
+    for scheme in FIGURE_SCHEMES:
+        result, tree = _captured(run_memcached, MemcachedConfig(
+            scheme=scheme, cores=scale.memcached_cores,
+            transactions_per_core=scale.memcached_tpc,
+            warmup_transactions=scale.memcached_warmup))
+        results[scheme] = [result]
+        spans[scheme] = tree
+    report = render_memcached_table(
+        {s: rs[0] for s, rs in results.items()},
+        title="Figure 11: memcached + memslap")
+    return _figure_data("fig11", "Figure 11: memcached",
+                        results, spans, report)
+
+
+def _storage_build(scale: BenchScale) -> dict:
+    results: Dict[str, List[RunResult]] = {}
+    spans: Dict[str, SpanNode] = {}
+    for scheme in FIGURE_SCHEMES:
+        runs, trees = [], []
+        for block_size in scale.storage_block_sizes:
+            result, tree = _captured(run_storage, StorageConfig(
+                scheme=scheme, block_size=block_size,
+                ops_per_core=scale.storage_ops,
+                warmup_ops=scale.storage_warmup))
+            runs.append(result)
+            trees.append(tree)
+        results[scheme] = runs
+        spans[scheme] = merge_span_trees(trees)
+    lines = ["Storage (§5.5): block I/O ops/s by block size",
+             f"  {'scheme':<20}{'block':>8}{'ops/s':>12}{'Gb/s':>10}"]
+    for scheme, runs in results.items():
+        for result in runs:
+            tps = result.transactions_per_sec or 0.0
+            lines.append(
+                f"  {scheme:<20}{result.params['block_size']:>8}"
+                f"{tps:>12,.0f}{result.throughput_gbps:>10.2f}")
+    return _figure_data("storage", "Storage block I/O", results, spans,
+                        "\n".join(lines))
+
+
+#: The registry, in the paper's figure order.
+FIGURES: Tuple[FigureSpec, ...] = (
+    FigureSpec("fig01", _FIG01_TITLE, _fig01_build),
+    _stream_figure("fig03", "Figure 3: single-core TCP RX",
+                   "rx", multi=False),
+    _stream_figure("fig04", "Figure 4: single-core TCP TX",
+                   "tx", multi=False),
+    _stream_figure("fig05", "Figure 5: single-core RX breakdown [us], 64KB",
+                   "rx", multi=False, breakdown=True),
+    _stream_figure("fig06", "Figure 6: 16-core TCP RX", "rx", multi=True),
+    _stream_figure("fig07", "Figure 7: 16-core TCP TX", "tx", multi=True),
+    _stream_figure("fig08", "Figure 8: 16-core RX breakdown [us], 64KB",
+                   "rx", multi=True, breakdown=True),
+    FigureSpec("fig09", "Figure 9: TCP_RR latency", _fig09_build),
+    FigureSpec("fig10", "Figure 10: TCP_RR CPU breakdown", _fig10_build),
+    FigureSpec("fig11", "Figure 11: memcached", _fig11_build),
+    FigureSpec("storage", "Storage block I/O", _storage_build),
+)
+
+FIGURE_NAMES = tuple(spec.name for spec in FIGURES)
+
+
+def select_figures(only: Optional[Sequence[str]]) -> List[FigureSpec]:
+    """Resolve ``--only`` selections against the registry (fail fast)."""
+    if not only:
+        return list(FIGURES)
+    by_name = {spec.name: spec for spec in FIGURES}
+    unknown = [name for name in only if name not in by_name]
+    if unknown:
+        raise SystemExit(
+            f"error: unknown figure(s) {', '.join(unknown)}; "
+            f"choices: {', '.join(FIGURE_NAMES)}")
+    return [by_name[name] for name in only]
+
+
+def run_bench(mode: str = "quick", only: Optional[Sequence[str]] = None,
+              baseline: Optional[str] = None,
+              out_dir: Optional[str] = None) -> int:
+    """Run the registry, write the record + report, optionally gate.
+
+    Returns the process exit status: 0 on success, 1 when the baseline
+    comparison found a regression.
+    """
+    # Imported here to keep the module importable without a cycle once
+    # record/regression need runner metadata.
+    from repro.bench.record import build_record, render_markdown, \
+        write_record
+    from repro.bench.regression import gate_against_baseline
+
+    scale = {"quick": QUICK_SCALE, "full": FULL_SCALE}.get(mode)
+    if scale is None:
+        raise SystemExit(f"error: unknown bench mode {mode!r}")
+    if baseline is not None and not os.path.exists(baseline):
+        raise SystemExit(f"error: baseline record not found: {baseline}")
+    specs = select_figures(only)
+    out = out_dir or default_results_dir()
+
+    figures: Dict[str, dict] = {}
+    started = time.time()
+    for spec in specs:
+        t0 = time.time()
+        figures[spec.name] = spec.build(scale)
+        print(f"[bench] {spec.name:<8} {spec.title:<50} "
+              f"{time.time() - t0:6.1f}s", file=sys.stderr)
+    record = build_record(mode=scale.name, figures=figures,
+                          schemes=FIGURE_SCHEMES)
+    json_path, md_path = write_record(record, out)
+    print(f"[bench] {len(specs)} figures in {time.time() - started:.1f}s")
+    print(f"[bench] record : {json_path}")
+    print(f"[bench] report : {md_path}")
+
+    if baseline is not None:
+        return gate_against_baseline(baseline, record)
+    return 0
+
+
+def render_figure_spans(figure: dict, scheme: str) -> str:
+    """Render one scheme's attribution tree from a figure's record data."""
+    tree = figure.get("spans", {}).get(scheme)
+    if tree is None:
+        return f"(no spans recorded for {scheme})"
+    return render_span_tree(SpanNode.from_dict(tree))

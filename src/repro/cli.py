@@ -11,13 +11,16 @@ Examples::
     python -m repro storage --scheme copy --block-size 262144
 
 Every subcommand prints the same metrics the corresponding paper
-table/figure reports.  For the full sweeps use
+table/figure reports.  ``python -m repro bench`` runs the full figure
+registry and writes a machine-readable ``BENCH_*.json`` record; the
+per-figure scripts remain available through
 ``pytest benchmarks/ --benchmark-only``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Iterable, Sequence
 
@@ -87,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "Attacks' (ASPLOS'16)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    # Shared tracing options for every workload subcommand.
+    # Shared tracing/output options for every workload subcommand.
     tracing = argparse.ArgumentParser(add_help=False)
     tracing.add_argument("--trace", metavar="PATH", default=None,
                          help="enable tracing/metrics; write the event "
@@ -96,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default=1 << 16,
                          help="ring-buffer capacity in events "
                               "(oldest evicted first; default 65536)")
+    tracing.add_argument("--json", metavar="PATH", default=None,
+                         help="write the run as a bench-record JSON "
+                              "(same row schema as BENCH_*.json) to "
+                              "PATH, or '-' for stdout")
 
     sub.add_parser("schemes", help="list protection schemes and properties")
 
@@ -134,6 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--cores", type=int, default=1)
     st.add_argument("--ops", type=int, default=400, help="ops per core")
 
+    bench = sub.add_parser(
+        "bench", help="unified figure runner: BENCH_*.json + report + "
+                      "optional regression gate")
+    scale = bench.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true",
+                       help="small sweeps, every figure (default)")
+    scale.add_argument("--full", action="store_true",
+                       help="paper-scale sweeps")
+    bench.add_argument("--only", action="append", metavar="FIG",
+                       help="run only this figure (repeatable), "
+                            "e.g. --only fig03 --only fig08")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="compare against a prior BENCH_*.json and "
+                            "exit non-zero on regression")
+    bench.add_argument("--out", metavar="DIR", default=None,
+                       help="output directory "
+                            "(default benchmarks/results)")
+
     return parser
 
 
@@ -169,26 +194,58 @@ def cmd_audit(scheme: str | None) -> int:
 
 
 def _make_obs(args) -> Observability | None:
-    """Build the capture context when ``--trace`` was given."""
-    if getattr(args, "trace", None) is None:
+    """Build the capture context when ``--trace`` or ``--json`` was given.
+
+    ``--json`` captures too so the record carries span attribution; the
+    zero-overhead guarantee keeps the numbers identical either way.
+    """
+    trace = getattr(args, "trace", None)
+    json_out = getattr(args, "json", None)
+    if trace is None and json_out is None:
         return None
-    # Fail fast on an unwritable path — before the run, not after it.
-    try:
-        with open(args.trace, "w"):
-            pass
-    except OSError as exc:
-        raise SystemExit(f"error: cannot write trace to {args.trace}: {exc}")
+    # Fail fast on unwritable paths — before the run, not after it.
+    for label, path in (("trace", trace), ("json", json_out)):
+        if path is None or path == "-":
+            continue
+        try:
+            with open(path, "w"):
+                pass
+        except OSError as exc:
+            raise SystemExit(
+                f"error: cannot write {label} to {path}: {exc}")
     return Observability.capture(trace_capacity=args.trace_limit)
 
 
-def _finish_obs(obs: Observability | None, args) -> None:
-    """Write the JSONL trace and print the observability report."""
+def _json_quiet(args) -> bool:
+    """``--json -`` owns stdout: suppress the human-readable output."""
+    return getattr(args, "json", None) == "-"
+
+
+def _finish_obs(obs: Observability | None, args,
+                result: RunResult | None = None) -> None:
+    """Write the JSONL trace / JSON record; print the report."""
     if obs is None:
         return
-    count = obs.tracer.write_jsonl(args.trace)
-    print()
-    print(render_observability_report(obs))
-    print(f"trace           : {count} events written to {args.trace}")
+    json_out = getattr(args, "json", None)
+    if json_out is not None and result is not None:
+        from repro.bench.record import single_run_record
+        from repro.stats.export import result_to_row
+
+        record = single_run_record(result_to_row(result),
+                                   spans=obs.spans.to_dict())
+        text = json.dumps(record, indent=2) + "\n"
+        if json_out == "-":
+            sys.stdout.write(text)
+        else:
+            with open(json_out, "w") as fh:
+                fh.write(text)
+    if args.trace is not None:
+        count = obs.tracer.write_jsonl(args.trace)
+        if not _json_quiet(args):
+            print()
+            print(render_observability_report(obs))
+            print(f"trace           : {count} events written to "
+                  f"{args.trace}")
 
 
 def main(argv: Iterable[str] | None = None) -> int:
@@ -205,8 +262,9 @@ def main(argv: Iterable[str] | None = None) -> int:
             message_size=args.size, cores=args.cores,
             units_per_core=args.units,
             warmup_units=max(50, args.units // 10), obs=obs))
-        _print_result(result)
-        _finish_obs(obs, args)
+        if not _json_quiet(args):
+            _print_result(result)
+        _finish_obs(obs, args, result)
         return 0
     if args.command == "rr":
         obs = _make_obs(args)
@@ -214,8 +272,9 @@ def main(argv: Iterable[str] | None = None) -> int:
             scheme=args.scheme, message_size=args.size,
             transactions=args.transactions,
             warmup_transactions=max(20, args.transactions // 10), obs=obs))
-        _print_result(result, show_latency=True)
-        _finish_obs(obs, args)
+        if not _json_quiet(args):
+            _print_result(result, show_latency=True)
+        _finish_obs(obs, args, result)
         return 0
     if args.command == "memcached":
         obs = _make_obs(args)
@@ -223,8 +282,9 @@ def main(argv: Iterable[str] | None = None) -> int:
             scheme=args.scheme, cores=args.cores,
             transactions_per_core=args.transactions,
             warmup_transactions=max(30, args.transactions // 10), obs=obs))
-        _print_result(result, show_tps=True)
-        _finish_obs(obs, args)
+        if not _json_quiet(args):
+            _print_result(result, show_tps=True)
+        _finish_obs(obs, args, result)
         return 0
     if args.command == "storage":
         obs = _make_obs(args)
@@ -232,9 +292,16 @@ def main(argv: Iterable[str] | None = None) -> int:
             scheme=args.scheme, block_size=args.block_size,
             cores=args.cores, ops_per_core=args.ops,
             warmup_ops=max(20, args.ops // 10), obs=obs))
-        _print_result(result, show_tps=True)
-        _finish_obs(obs, args)
+        if not _json_quiet(args):
+            _print_result(result, show_tps=True)
+        _finish_obs(obs, args, result)
         return 0
+    if args.command == "bench":
+        from repro.bench.runner import run_bench
+
+        mode = "full" if args.full else "quick"
+        return run_bench(mode=mode, only=args.only,
+                         baseline=args.baseline, out_dir=args.out)
     raise AssertionError(f"unhandled command {args.command}")
 
 

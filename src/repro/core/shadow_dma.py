@@ -43,6 +43,7 @@ from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
 from repro.iommu.page_table import Perm
 from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.obs.spans import SPAN_COPY
 from repro.obs.trace import EV_DMA_COPY
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_up
 
@@ -190,6 +191,8 @@ class ShadowDmaApi(DmaApi):
         """Move real bytes and charge the calibrated memcpy + pollution."""
         if nbytes <= 0:
             return
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_COPY, core)
         cycles = self.cost.memcpy_cycles(nbytes)
         if remote:
             cycles = round(cycles * self.cost.numa_remote_copy_factor)
@@ -203,6 +206,7 @@ class ShadowDmaApi(DmaApi):
                                  nbytes=nbytes, remote=remote,
                                  cycles=cycles)
             self.obs.metrics.histogram("dma.copy_bytes").observe(nbytes)
+            self.obs.spans.end(core)
 
     # ------------------------------------------------------------------
     # Hybrid huge buffers (§5.5).

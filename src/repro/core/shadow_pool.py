@@ -36,6 +36,7 @@ from repro.iommu.iommu import Domain, Iommu
 from repro.iommu.page_table import Perm
 from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.obs.spans import SPAN_POOL_ACQUIRE, SPAN_POOL_RELEASE
 from repro.obs.trace import EV_POOL_FALLBACK, EV_POOL_GROW, EV_POOL_SHRINK
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
 
@@ -251,6 +252,8 @@ class ShadowBufferPool:
                 f"{self.size_classes[-1]} — huge buffers take the hybrid "
                 f"path (§5.5)"
             )
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_POOL_ACQUIRE, core)
         core.charge(self.cost.pool_acquire_cycles, CAT_COPY_MGMT)
         flist = self._list_for(core.cid, class_index, rights)
         meta = None
@@ -265,6 +268,7 @@ class ShadowBufferPool:
         if self.obs.enabled:
             self.obs.metrics.series("pool.in_flight").sample(
                 core.now, self.stats.in_flight)
+            self.obs.spans.end(core)
         return meta
 
     def find_shadow(self, core: Core, iova: int) -> ShadowBufferMeta:
@@ -294,6 +298,8 @@ class ShadowBufferPool:
     def release_shadow(self, core: Core, meta: ShadowBufferMeta) -> None:
         """Return a shadow buffer to its free list (sticky — §5.3)."""
         remote = core.cid != meta.owner_core
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_POOL_RELEASE, core)
         core.charge(self.cost.pool_release_cycles, CAT_COPY_MGMT)
         if remote:
             core.charge(self.cost.pool_remote_release_cycles, CAT_COPY_MGMT)
@@ -307,11 +313,15 @@ class ShadowBufferPool:
             # Sub-page buffers are never migrated: their page mapping is
             # shared with siblings of the same list.
             self._migrate_to_core(core, meta)
+            if self.obs.enabled:
+                self.obs.spans.end(core)
             return
         flist = self._lists[meta.list_key]
         flist.tail_lock.acquire(core)
         flist.push_tail(meta)
         flist.tail_lock.release(core)
+        if self.obs.enabled:
+            self.obs.spans.end(core)
 
     # ------------------------------------------------------------------
     # Growth (slow path, §5.3 "Shadow buffer allocation").

@@ -30,6 +30,7 @@ from repro.iommu.iommu import DmaPort
 from repro.iommu.page_table import Perm
 from repro.kalloc.slab import KBuffer
 from repro.obs.context import NULL_OBS
+from repro.obs.spans import SPAN_DMA_MAP, SPAN_DMA_UNMAP
 from repro.obs.trace import EV_DMA_MAP, EV_DMA_UNMAP
 
 
@@ -136,7 +137,11 @@ class DmaApi(abc.ABC):
         """Authorize a DMA to/from ``buf``; returns the bus address handle."""
         if buf.size <= 0:
             raise DmaApiError("dma_map of empty buffer")
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_DMA_MAP, core)
         handle, cookie = self._map(core, buf, direction)
+        if self.obs.enabled:
+            self.obs.spans.end(core)
         if handle.iova in self._live:
             raise DmaApiError(
                 f"scheme bug: IOVA {handle.iova:#x} handed out twice"
@@ -163,7 +168,11 @@ class DmaApi(abc.ABC):
                 f"dma_unmap arguments disagree with dma_map for "
                 f"IOVA {handle.iova:#x}"
             )
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_DMA_UNMAP, core)
         self._unmap(core, live.buf, handle, live.cookie)
+        if self.obs.enabled:
+            self.obs.spans.end(core)
         self.stats.unmaps += 1
         if self.obs.enabled:
             self.obs.tracer.emit(EV_DMA_UNMAP, core.now, core.cid,

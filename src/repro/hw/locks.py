@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.errors import SimulationError
 from repro.hw.cpu import CAT_SPINLOCK, Core
 from repro.obs.context import NULL_OBS, Observability
+from repro.obs.spans import SPAN_LOCK_WAIT
 from repro.obs.trace import EV_LOCK_ACQUIRE, EV_LOCK_CONTEND, EV_LOCK_RELEASE
 from repro.sim.costmodel import CostModel
 
@@ -68,6 +69,8 @@ class SpinLock:
     def acquire(self, core: Core) -> None:
         if self._holder is core:
             raise SimulationError(f"lock {self.name}: recursive acquire")
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_LOCK_WAIT, core)
         waited = core.spin_until(self.free_at, CAT_SPINLOCK)
         self.stats.acquisitions += 1
         if waited:
@@ -89,6 +92,7 @@ class SpinLock:
             else:
                 self.obs.tracer.emit(EV_LOCK_ACQUIRE, core.now, core.cid,
                                      lock=self.name)
+            self.obs.spans.end(core)
         self._holder = core
         self._acquired_at = core.now
 

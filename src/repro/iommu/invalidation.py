@@ -27,6 +27,7 @@ from repro.hw.cpu import CAT_INVALIDATE, Core
 from repro.hw.locks import NullLock, SharedResource, SpinLock
 from repro.iommu.iotlb import Iotlb
 from repro.obs.context import NULL_OBS, Observability
+from repro.obs.spans import SPAN_IOTLB_INVALIDATE
 from repro.obs.trace import EV_INV_COMPLETE, EV_INV_FLUSH, EV_INV_SUBMIT
 from repro.sim.costmodel import CostModel
 from repro.sim.units import us_to_cycles
@@ -125,6 +126,8 @@ class InvalidationQueue:
         queueing + service) feeds the ``invalidation.latency_cycles``
         histogram that reproduces Fig. 8a as a distribution.
         """
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_IOTLB_INVALIDATE, core)
         core.charge(self.cost.invq_submit_cycles, CAT_INVALIDATE)
         concurrency = self._note_submission(core)
         submitted_at = core.now
@@ -144,6 +147,7 @@ class InvalidationQueue:
                                  pages=npages, concurrency=concurrency)
             self.obs.tracer.emit(EV_INV_COMPLETE, done, core.cid,
                                  scope=scope, latency_cycles=observed)
+            self.obs.spans.end(core)
 
     def _invalidate_locked(self, core: Core, domain_id: int,
                            iova_page: int, npages: int) -> None:

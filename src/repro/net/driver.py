@@ -31,6 +31,8 @@ from repro.kalloc.slab import KBuffer, KernelAllocators
 from repro.net.nic import Nic
 from repro.net.packets import parse_frame
 from repro.net.ring import FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
+from repro.obs.spans import (SPAN_DEVICE_ACCESS, SPAN_RX_PACKET,
+                             SPAN_TX_CHUNK)
 from repro.obs.trace import EV_NET_RX, EV_NET_TX
 from repro.sim.units import PAGE_SIZE
 
@@ -147,7 +149,15 @@ class NicDriver:
         header parsing, and ring refill.  Stack/socket costs above the
         driver are charged by the workload layer.
         """
-        if not self.nic.receive_frame(qid, frame):
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_RX_PACKET, core)
+            self.obs.spans.begin(SPAN_DEVICE_ACCESS, core)
+        accepted = self.nic.receive_frame(qid, frame)
+        if self.obs.enabled:
+            self.obs.spans.end(core)        # device_access
+        if not accepted:
+            if self.obs.enabled:
+                self.obs.spans.end(core)    # rx_packet (dropped frame)
             return None
         reaped = self._rx_rings[qid].reap()
         if reaped is None:
@@ -169,6 +179,8 @@ class NicDriver:
             self.obs.metrics.counter("net.rx_packets").inc()
         self.allocators.buddies[slot.buf.node].free_pages(slot.buf.pa, core)
         self._post_rx_buffer(core, qid)
+        if self.obs.enabled:
+            self.obs.spans.end(core)        # rx_packet
         return parsed.payload_len
 
     # ------------------------------------------------------------------
@@ -256,11 +268,19 @@ class NicDriver:
 
         Returns the number of wire segments the NIC emitted.
         """
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_TX_CHUNK, core)
         node = core.numa_node
         buf = self.allocators.slabs[node].kmalloc(chunk_bytes, core)
         if payload is not None:
             self.machine.memory.write(buf.pa, payload[:chunk_bytes])
         self.send_chunk(core, qid, buf)
+        if self.obs.enabled:
+            self.obs.spans.begin(SPAN_DEVICE_ACCESS, core)
         segments = self.nic.transmit_pending(qid)
+        if self.obs.enabled:
+            self.obs.spans.end(core)        # device_access
         self.reap_tx(core, qid)
+        if self.obs.enabled:
+            self.obs.spans.end(core)        # tx_chunk
         return segments

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder
 from repro.obs.trace import EV_PHASE, NullTracer, RingTracer
 
 
@@ -36,14 +37,17 @@ class PhaseRecord:
 
 
 class Observability:
-    """Tracer + metrics + phase timeline for one simulated run."""
+    """Tracer + metrics + spans + phase timeline for one simulated run."""
 
     def __init__(self, tracer=None, metrics: MetricsRegistry | None = None,
-                 enabled: bool = True):
+                 enabled: bool = True,
+                 spans: SpanRecorder | None = None):
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Hierarchical cycle-attribution recorder (see repro.obs.spans).
+        self.spans = spans if spans is not None else SpanRecorder()
         #: Master switch instrumented hot paths guard on.  Disabled means
-        #: neither events nor metrics are recorded.
+        #: neither events, metrics, nor spans are recorded.
         self.enabled = enabled and self.tracer.enabled
         self.phases: List[PhaseRecord] = []
 

@@ -22,6 +22,7 @@ from typing import Callable, Iterable, List
 from repro.errors import SimulationError
 from repro.hw.cpu import Core
 from repro.obs.context import NULL_OBS, Observability
+from repro.obs.spans import SPAN_STEP
 from repro.obs.trace import EV_SCHED_STEP
 
 
@@ -106,9 +107,12 @@ class Scheduler:
             if max_units is not None and executed >= max_units:
                 break
             started_at, _, task = heapq.heappop(heap)
+            if self.obs.enabled:
+                self.obs.spans.begin(SPAN_STEP, task.core)
             more = task.run_one()
             executed += 1
             if self.obs.enabled:
+                self.obs.spans.end(task.core)
                 self.obs.tracer.emit(EV_SCHED_STEP, started_at,
                                      task.core.cid, task=task.name,
                                      ran_cycles=task.core.now - started_at,

@@ -13,10 +13,14 @@ from typing import Iterable, List
 
 from repro.obs.context import Observability, PhaseRecord
 from repro.obs.metrics import CycleHistogram, MetricsRegistry
+from repro.obs.spans import SpanNode
 from repro.sim.units import cycles_to_us
 
 #: Width of histogram bars in :func:`render_histogram`.
 _BAR_WIDTH = 40
+
+#: Width of the flame bars in :func:`render_span_tree`.
+_FLAME_WIDTH = 24
 
 
 def render_histogram(hist: CycleHistogram, title: str | None = None) -> str:
@@ -104,10 +108,49 @@ def render_trace_summary(tracer) -> str:
     return "\n".join(lines)
 
 
+def render_span_tree(root: SpanNode, max_depth: int | None = None) -> str:
+    """Flamegraph-style ASCII rendering of a span-attribution tree.
+
+    One row per node, indented by depth, with a hash bar proportional to
+    the node's share of the root's total cycles, the inclusive ``total``
+    and exclusive ``self`` time, and the call count.  The root row (the
+    synthetic ``run`` node) reports the sum of its children, since it is
+    never opened or closed itself.
+    """
+    lines = ["== spans =="]
+    total = root.total_cycles or root.child_cycles
+    if not total and not root.children:
+        lines.append("  (no spans recorded)")
+        return "\n".join(lines)
+
+    def emit(node: SpanNode, depth: int, inclusive: int) -> None:
+        if max_depth is not None and depth > max_depth:
+            return
+        share = inclusive / total if total else 0.0
+        bar = "#" * max(1, round(_FLAME_WIDTH * share)) if inclusive else ""
+        self_cycles = inclusive - node.child_cycles
+        label = "  " * depth + node.name
+        lines.append(
+            f"  {label:<28} {share:>6.1%}  "
+            f"total={cycles_to_us(inclusive):>10.1f}us  "
+            f"self={cycles_to_us(self_cycles):>10.1f}us  "
+            f"n={node.count:>7}  {bar}"
+        )
+        for child in sorted(node.children.values(),
+                            key=lambda n: -n.total_cycles):
+            emit(child, depth + 1, child.total_cycles)
+
+    emit(root, 0, total)
+    return "\n".join(lines)
+
+
 def render_observability_report(obs: Observability) -> str:
-    """Trace summary + phase table + metrics summary, in that order."""
-    return "\n".join([
+    """Trace summary + phase table + span tree + metrics summary."""
+    sections = [
         render_trace_summary(obs.tracer),
         render_phase_table(obs.phases),
-        render_metrics_summary(obs.metrics),
-    ])
+    ]
+    if obs.spans.closed:
+        sections.append(render_span_tree(obs.spans.tree()))
+    sections.append(render_metrics_summary(obs.metrics))
+    return "\n".join(sections)

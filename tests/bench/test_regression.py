@@ -1,0 +1,137 @@
+"""The regression gate: tolerance bands and span attribution.
+
+Built around synthetic records (no simulation runs) so the semantics
+are exact: an injected slowdown beyond the band trips the gate and the
+report names the span subtree that grew; within-band noise passes.
+"""
+
+import copy
+
+from repro.bench.record import build_record
+from repro.bench.regression import (
+    DEFAULT_TOLERANCES,
+    blame_span,
+    compare_records,
+    gate_against_baseline,
+    render_gate_report,
+)
+from repro.obs.spans import SpanNode
+
+
+def _span_tree(lock_wait_cycles: int) -> dict:
+    """run -> dma_unmap -> {iotlb_invalidate, lock_wait} as dict data."""
+    run = SpanNode("run")
+    unmap = run.child("dma_unmap")
+    unmap.count = 100
+    unmap.total_cycles = 50_000 + lock_wait_cycles
+    inv = unmap.child("iotlb_invalidate")
+    inv.count = 100
+    inv.total_cycles = 30_000
+    lock = unmap.child("lock_wait")
+    lock.count = 100
+    lock.total_cycles = lock_wait_cycles
+    return run.to_dict()
+
+
+def _record(throughput: float, us_per_unit: float,
+            lock_wait_cycles: int = 10_000) -> dict:
+    row = {
+        "figure": "fig03", "scheme": "identity-strict",
+        "workload": "tcp_stream_rx", "cores": 1,
+        "param_message_size": 65536,
+        "throughput_gbps": throughput, "us_per_unit": us_per_unit,
+        "latency_us": None, "transactions_per_sec": None,
+    }
+    figures = {"fig03": {
+        "title": "Figure 3", "series": [row],
+        "spans": {"identity-strict": _span_tree(lock_wait_cycles)},
+    }}
+    return build_record(mode="quick", figures=figures,
+                        schemes=("identity-strict",))
+
+
+def test_identical_records_pass():
+    base = _record(6.6, 1.17)
+    assert compare_records(base, copy.deepcopy(base)) == []
+
+
+def test_within_tolerance_noise_passes():
+    base = _record(6.60, 1.170)
+    cur = _record(6.60 * 0.97, 1.170 * 1.03)   # 3% drift, 5% band
+    assert compare_records(base, cur) == []
+
+
+def test_improvement_never_trips():
+    base = _record(6.6, 1.17)
+    cur = _record(6.6 * 1.5, 1.17 / 1.5)
+    assert compare_records(base, cur) == []
+
+
+def test_injected_slowdown_trips_both_metrics():
+    base = _record(6.6, 1.17)
+    cur = _record(6.6 * 0.8, 1.17 * 1.25, lock_wait_cycles=40_000)
+    regs = compare_records(base, cur)
+    metrics = {r.metric for r in regs}
+    assert metrics == {"throughput_gbps", "us_per_unit"}
+    for reg in regs:
+        assert reg.figure == "fig03"
+        assert reg.scheme == "identity-strict"
+        assert "message_size=65536" in reg.key
+
+
+def test_unmatched_points_are_skipped():
+    base = _record(6.6, 1.17)
+    cur = _record(1.0, 9.9)
+    cur["figures"]["fig03"]["series"][0]["param_message_size"] = 1024
+    assert compare_records(base, cur) == []
+    cur2 = _record(1.0, 9.9)
+    cur2["figures"]["other"] = cur2["figures"].pop("fig03")
+    assert compare_records(base, cur2) == []
+
+
+def test_custom_tolerances():
+    base = _record(6.6, 1.17)
+    cur = _record(6.6 * 0.97, 1.17)
+    tight = {"throughput_gbps": (True, 0.01)}
+    assert len(compare_records(base, cur, tight)) == 1
+    assert compare_records(base, cur, DEFAULT_TOLERANCES) == []
+
+
+def test_blame_names_the_grown_subtree():
+    base = SpanNode.from_dict(_span_tree(10_000))
+    cur = SpanNode.from_dict(_span_tree(60_000))
+    blamed = blame_span(base, cur)
+    assert blamed is not None
+    path, base_share, cur_share = blamed
+    assert path == ("dma_unmap", "lock_wait")
+    assert cur_share > base_share
+
+
+def test_gate_report_names_offending_span():
+    base = _record(6.6, 1.17, lock_wait_cycles=10_000)
+    cur = _record(6.6 * 0.7, 1.17 * 1.4, lock_wait_cycles=60_000)
+    regs = compare_records(base, cur)
+    report = render_gate_report(base, cur, regs)
+    assert "FAIL" in report
+    assert "dma_unmap -> lock_wait" in report
+    assert "throughput_gbps" in report
+
+
+def test_gate_exit_status(tmp_path):
+    import json
+
+    base = _record(6.6, 1.17)
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(base))
+    assert gate_against_baseline(str(path), copy.deepcopy(base)) == 0
+    slow = _record(6.6 * 0.5, 1.17 * 2, lock_wait_cycles=90_000)
+    assert gate_against_baseline(str(path), slow) == 1
+
+
+def test_mode_mismatch_warns_but_compares():
+    base = _record(6.6, 1.17)
+    cur = _record(6.6, 1.17)
+    cur["fingerprint"]["mode"] = "full"
+    report = render_gate_report(base, cur, compare_records(base, cur))
+    assert "different modes" in report
+    assert "PASS" in report

@@ -1,0 +1,187 @@
+"""Span recorder semantics: nesting, per-core stacks, attribution.
+
+The structural invariants here are what the renderer and the bench
+regression gate rely on:
+
+* children's summed cycles never exceed their parent's total;
+* spans nest per core — interleaved cores cannot tangle hierarchies;
+* every ``begin`` is balanced by ``end`` in real workload runs, so the
+  tree is complete when the run returns;
+* trees serialize/deserialize losslessly and merge additively.
+"""
+
+import pytest
+
+from repro.hw.machine import Machine
+from repro.obs.context import Observability
+from repro.obs.spans import (
+    SPAN_COPY,
+    SPAN_DMA_MAP,
+    SPAN_DMA_UNMAP,
+    SPAN_IOTLB_INVALIDATE,
+    SPAN_LOCK_WAIT,
+    SPAN_POOL_ACQUIRE,
+    SPAN_RX_PACKET,
+    SPAN_STEP,
+    SpanNode,
+    SpanRecorder,
+    find_node,
+    merge_span_trees,
+)
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+
+def _assert_nesting_invariant(root: SpanNode) -> None:
+    """Children account for no more than their parent, everywhere."""
+    for path, node in root.walk():
+        if node is root:
+            continue
+        assert node.child_cycles <= node.total_cycles, path
+        assert node.self_cycles >= 0, path
+
+
+# ----------------------------------------------------------------------
+# Recorder unit behaviour (synthetic cores).
+# ----------------------------------------------------------------------
+@pytest.fixture
+def machine():
+    return Machine.build(cores=2, numa_nodes=1)
+
+
+def test_nested_spans_aggregate_by_path(machine):
+    rec = SpanRecorder()
+    core = machine.core(0)
+    for _ in range(3):
+        rec.begin("outer", core)
+        core.charge(100, "other")
+        rec.begin("inner", core)
+        core.charge(40, "other")
+        rec.end(core)
+        core.charge(10, "other")
+        rec.end(core)
+    outer = find_node(rec.tree(), ("outer",))
+    inner = find_node(rec.tree(), ("outer", "inner"))
+    assert outer.count == 3 and inner.count == 3
+    assert outer.total_cycles == 3 * 150
+    assert inner.total_cycles == 3 * 40
+    assert outer.self_cycles == 3 * 110
+    _assert_nesting_invariant(rec.tree())
+
+
+def test_same_name_different_context_is_different_node(machine):
+    rec = SpanRecorder()
+    core = machine.core(0)
+    rec.begin("a", core)
+    rec.begin("lock", core)
+    rec.end(core)
+    rec.end(core)
+    rec.begin("b", core)
+    rec.begin("lock", core)
+    rec.end(core)
+    rec.end(core)
+    assert find_node(rec.tree(), ("a", "lock")).count == 1
+    assert find_node(rec.tree(), ("b", "lock")).count == 1
+    assert find_node(rec.tree(), ("lock",)) is None
+
+
+def test_per_core_stacks_do_not_tangle(machine):
+    """A span opened on core 0 must not become the parent of a span
+    opened on core 1, regardless of interleaving."""
+    rec = SpanRecorder()
+    c0, c1 = machine.core(0), machine.core(1)
+    rec.begin("c0-outer", c0)
+    rec.begin("c1-outer", c1)
+    c0.charge(50, "other")
+    c1.charge(70, "other")
+    rec.begin("c1-inner", c1)
+    rec.end(c1)
+    rec.end(c1)
+    rec.end(c0)
+    root = rec.tree()
+    assert set(root.children) == {"c0-outer", "c1-outer"}
+    assert find_node(root, ("c1-outer", "c1-inner")) is not None
+    assert find_node(root, ("c0-outer", "c1-inner")) is None
+    assert find_node(root, ("c0-outer",)).total_cycles == 50
+
+
+def test_end_without_begin_is_tolerated(machine):
+    rec = SpanRecorder()
+    core = machine.core(0)
+    rec.end(core)                     # no crash, nothing recorded
+    assert rec.closed == 0
+    rec.begin("x", core)
+    rec.end(core)
+    rec.end(core)                     # over-closing is absorbed too
+    assert rec.closed == 1
+
+
+def test_round_trip_and_merge(machine):
+    rec = SpanRecorder()
+    core = machine.core(0)
+    rec.begin("outer", core)
+    core.charge(30, "other")
+    rec.begin("inner", core)
+    core.charge(12, "other")
+    rec.end(core)
+    rec.end(core)
+    rebuilt = SpanNode.from_dict(rec.to_dict())
+    assert rebuilt.to_dict() == rec.to_dict()
+    merged = merge_span_trees([rec.tree(), rebuilt])
+    assert find_node(merged, ("outer",)).total_cycles == 2 * 42
+    assert find_node(merged, ("outer", "inner")).count == 2
+    _assert_nesting_invariant(merged)
+
+
+def test_clear_resets_everything(machine):
+    rec = SpanRecorder()
+    core = machine.core(0)
+    rec.begin("x", core)
+    rec.clear()
+    assert rec.opened == 0 and rec.closed == 0
+    assert rec.open_spans == 0
+    assert not rec.tree().children
+
+
+# ----------------------------------------------------------------------
+# Real-run attribution: the tree shape tells the paper's story.
+# ----------------------------------------------------------------------
+def _rx_tree(scheme: str, cores: int = 2) -> SpanNode:
+    obs = Observability.capture(trace_capacity=64)
+    run_tcp_stream_rx(StreamConfig(
+        scheme=scheme, cores=cores, units_per_core=40, warmup_units=10,
+        message_size=16384, obs=obs))
+    assert obs.spans.open_spans == 0
+    assert obs.spans.opened == obs.spans.closed
+    return obs.spans.tree()
+
+
+def test_copy_scheme_attribution_tree():
+    root = _rx_tree("copy")
+    _assert_nesting_invariant(root)
+    # The steady-state RX path: step -> rx_packet -> dma_unmap -> copy.
+    copy_node = find_node(root, (SPAN_STEP, SPAN_RX_PACKET,
+                                 SPAN_DMA_UNMAP, SPAN_COPY))
+    assert copy_node is not None and copy_node.total_cycles > 0
+    # Refill maps acquire from the shadow pool.
+    acquire = find_node(root, (SPAN_STEP, SPAN_RX_PACKET,
+                               SPAN_DMA_MAP, SPAN_POOL_ACQUIRE))
+    assert acquire is not None and acquire.count > 0
+    # The copy scheme never touches the invalidation queue on RX.
+    assert find_node(root, (SPAN_STEP, SPAN_RX_PACKET, SPAN_DMA_UNMAP,
+                            SPAN_IOTLB_INVALIDATE)) is None
+
+
+def test_strict_scheme_attribution_tree():
+    root = _rx_tree("identity-strict")
+    _assert_nesting_invariant(root)
+    unmap = find_node(root, (SPAN_STEP, SPAN_RX_PACKET, SPAN_DMA_UNMAP))
+    inv = find_node(root, (SPAN_STEP, SPAN_RX_PACKET, SPAN_DMA_UNMAP,
+                           SPAN_IOTLB_INVALIDATE))
+    lock = find_node(root, (SPAN_STEP, SPAN_RX_PACKET, SPAN_DMA_UNMAP,
+                            SPAN_LOCK_WAIT))
+    assert unmap is not None and inv is not None and lock is not None
+    # Strict unmap is dominated by invalidation + lock wait (§2.2.1).
+    assert inv.total_cycles + lock.total_cycles > unmap.total_cycles / 2
+    # No shadow-pool or copy activity anywhere in an identity tree.
+    for path, node in root.walk():
+        assert node.name not in (SPAN_COPY, SPAN_POOL_ACQUIRE), path

@@ -64,3 +64,27 @@ def test_traced_stream_identical_under_contention():
     assert traced.wall_cycles == bare.wall_cycles
     assert traced.busy_cycles == bare.busy_cycles
     assert traced.breakdown_cycles == bare.breakdown_cycles
+
+
+def test_span_instrumented_run_is_byte_identical():
+    """The span begin/end sites are behind the same ``obs.enabled``
+    guard as the tracer; a NullTracer run records no spans and stays
+    byte-identical, and a capturing run records spans without shifting
+    a single cycle."""
+    bare = run_tcp_rr(RRConfig(**_RR))
+    null_obs = Observability(tracer=NullTracer())
+    nulled = run_tcp_rr(RRConfig(**_RR, obs=null_obs))
+    assert to_json([bare]) == to_json([nulled])
+    assert null_obs.spans.opened == 0
+    assert null_obs.spans.closed == 0
+    assert not null_obs.spans.tree().children
+
+    obs = Observability.capture()
+    spanned = run_tcp_rr(RRConfig(**_RR, obs=obs))
+    assert spanned.wall_cycles == bare.wall_cycles
+    assert spanned.busy_cycles == bare.busy_cycles
+    assert spanned.breakdown_cycles == bare.breakdown_cycles
+    # ...and the spans were actually recorded.
+    assert obs.spans.closed > 0
+    assert obs.spans.opened == obs.spans.closed
+    assert obs.spans.open_spans == 0

@@ -1,7 +1,10 @@
 """CLI tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
+from repro.bench.record import SCHEMA_VERSION
 from repro.cli import build_parser, main
 
 
@@ -69,6 +72,68 @@ def test_storage(capsys):
                         "--block-size", "262144", "--ops", "60")
     assert code == 0
     assert "transactions/s" in out
+
+
+def test_stream_json_to_file(capsys, tmp_path):
+    out_path = tmp_path / "run.json"
+    code, out = run_cli(capsys, "stream", "--scheme", "copy",
+                        "--size", "16384", "--units", "120",
+                        "--json", str(out_path))
+    assert code == 0
+    assert "Gb/s" in out                  # human output stays
+    record = json.loads(out_path.read_text())
+    assert record["schema_version"] == SCHEMA_VERSION
+    (row,) = record["figures"]["single"]["series"]
+    assert row["scheme"] == "copy"
+    assert row["workload"] == "tcp_stream_rx"
+    assert row["throughput_gbps"] > 0
+    # Spans ride along under the scheme's name.
+    spans = record["figures"]["single"]["spans"]["copy"]
+    assert any(c["name"] == "step" for c in spans["children"])
+
+
+def test_rr_json_to_stdout_is_pure_json(capsys):
+    code, out = run_cli(capsys, "rr", "--scheme", "no-iommu",
+                        "--size", "64", "--transactions", "40",
+                        "--json", "-")
+    assert code == 0
+    record = json.loads(out)              # nothing but the record
+    (row,) = record["figures"]["single"]["series"]
+    assert row["workload"] == "tcp_rr"
+    assert row["latency_us"] is not None
+
+
+def test_json_identical_numbers_to_plain_run(capsys, tmp_path):
+    """--json enables capture; the zero-overhead guarantee means the
+    recorded numbers match an instrumentation-free run exactly."""
+    code, plain = run_cli(capsys, "storage", "--scheme", "copy",
+                          "--block-size", "4096", "--ops", "50")
+    assert code == 0
+    out_path = tmp_path / "st.json"
+    code, _ = run_cli(capsys, "storage", "--scheme", "copy",
+                      "--block-size", "4096", "--ops", "50",
+                      "--json", str(out_path))
+    assert code == 0
+    (row,) = json.loads(out_path.read_text())["figures"]["single"]["series"]
+    assert f"{row['throughput_gbps']:.2f} Gb/s" in plain
+
+
+def test_json_fails_fast_on_unwritable_path(capsys):
+    with pytest.raises(SystemExit) as err:
+        main(["memcached", "--cores", "2", "--transactions", "40",
+              "--json", "/nonexistent-dir/x.json"])
+    assert "cannot write json" in str(err.value)
+
+
+def test_bench_parser_accepts_gate_flags():
+    args = build_parser().parse_args(
+        ["bench", "--quick", "--only", "fig03", "--only", "fig08",
+         "--baseline", "b.json", "--out", "/tmp/x"])
+    assert args.quick and not args.full
+    assert args.only == ["fig03", "fig08"]
+    assert args.baseline == "b.json"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bench", "--quick", "--full"])
 
 
 def test_unknown_scheme_rejected():

@@ -15,19 +15,21 @@ audit carries the claimed values through for rendering.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.attacks.scenarios import (
     ScenarioOutcome,
     arbitrary_dma_attack,
+    measure_scheme_exposure,
     subpage_read_attack,
     window_read_attack,
     window_write_attack,
 )
 from repro.dma.registry import ALL_SCHEMES, scheme_properties
 from repro.errors import SecurityViolation
-from repro.stats.reporting import render_property_matrix
+from repro.stats.reporting import render_exposure_report, \
+    render_property_matrix
 
 #: Column labels, matching the paper's Table 1.
 TABLE1_COLUMNS = (
@@ -48,6 +50,10 @@ class AuditRow:
     observed: Dict[str, bool]
     claimed: Dict[str, bool]
     outcomes: List[ScenarioOutcome]
+    #: Quantitative exposure summary (repro.obs.exposure), attached when
+    #: the audit runs with ``exposure=True``.  ``None`` either means the
+    #: measurement was skipped or the scheme has no IOMMU domain.
+    exposure: Optional[Dict[str, object]] = field(default=None)
 
     @property
     def matches_claims(self) -> bool:
@@ -89,11 +95,20 @@ def audit_scheme(scheme: str, **scheme_kwargs) -> AuditRow:
 
 
 def audit_all(schemes: Sequence[str] = ALL_SCHEMES,
-              strict: bool = True) -> List[AuditRow]:
+              strict: bool = True,
+              exposure: bool = False) -> List[AuditRow]:
     """Audit every scheme.  With ``strict``, a mismatch between observed
     security and the scheme's claimed properties raises
-    :class:`~repro.errors.SecurityViolation`."""
+    :class:`~repro.errors.SecurityViolation`.  With ``exposure``, each
+    row additionally carries the measured exposure summary
+    (:func:`~repro.attacks.scenarios.measure_scheme_exposure`)."""
     rows = [audit_scheme(scheme) for scheme in schemes]
+    if exposure:
+        for row in rows:
+            summary = measure_scheme_exposure(row.scheme)
+            # No domains means no translation bounded the device at all
+            # (no-iommu, SWIOTLB): keep None so renderers say so.
+            row.exposure = summary if summary.get("domains") else None
     if strict:
         for row in rows:
             if not row.matches_claims:
@@ -111,4 +126,13 @@ def render_table1(rows: Sequence[AuditRow]) -> str:
         TABLE1_COLUMNS,
         title=("Table 1: protection properties (security columns verified "
                "by attack scenarios)"),
+    )
+
+
+def render_audit_exposure(rows: Sequence[AuditRow]) -> str:
+    """Render the measured exposure surface behind the Table 1 booleans."""
+    return render_exposure_report(
+        [(row.label, row.exposure) for row in rows],
+        title=("Exposure report: cycle-accurate surface behind the "
+               "Table 1 claims"),
     )

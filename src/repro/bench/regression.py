@@ -16,6 +16,7 @@ catching order-of-magnitude mistakes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -30,6 +31,12 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[bool, float]] = {
     "us_per_unit": (False, 0.05),
     "latency_us": (False, 0.05),
     "transactions_per_sec": (True, 0.05),
+    # Security exposure (repro.obs.exposure).  Wider bands than the perf
+    # metrics: workload refinements legitimately shift the integrals, but
+    # a scheme whose stale window grows past 1.5x its baseline — or
+    # appears where the baseline had none — is a protection regression.
+    "exposure_stale_byte_cycles": (False, 0.5),
+    "exposure_excess_byte_cycles": (False, 0.5),
 }
 
 
@@ -48,7 +55,7 @@ class Regression:
     def change(self) -> float:
         """Signed relative change, current vs baseline."""
         if not self.baseline:
-            return 0.0
+            return math.inf if self.current else 0.0
         return (self.current - self.baseline) / self.baseline
 
 
@@ -90,7 +97,21 @@ def compare_records(baseline: Dict, current: Dict,
             for metric, (higher_is_better, band) in tol.items():
                 base_val = base_row.get(metric)
                 cur_val = row.get(metric)
-                if base_val is None or cur_val is None or not base_val:
+                if base_val is None or cur_val is None:
+                    continue
+                if not base_val:
+                    # Zero baseline: relative change is undefined, but a
+                    # lower-is-better metric growing from exactly 0 is
+                    # the clearest regression there is — a scheme whose
+                    # exposure was provably zero now leaks.  Higher-is-
+                    # better metrics can only improve from 0; skip.
+                    if not higher_is_better and cur_val > 0:
+                        regressions.append(Regression(
+                            figure=fig_name,
+                            scheme=str(row.get("scheme")),
+                            key=_key_label(key), metric=metric,
+                            baseline=float(base_val),
+                            current=float(cur_val)))
                     continue
                 change = (cur_val - base_val) / base_val
                 bad = -change if higher_is_better else change

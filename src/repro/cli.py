@@ -24,7 +24,8 @@ import json
 import sys
 from typing import Iterable, Sequence
 
-from repro.attacks.audit import audit_all, render_table1
+from repro.attacks.audit import audit_all, render_audit_exposure, \
+    render_table1
 from repro.dma.registry import ALL_SCHEMES, PAPER_ALIASES, scheme_properties
 from repro.obs.context import Observability
 from repro.stats.results import RunResult
@@ -110,6 +111,10 @@ def build_parser() -> argparse.ArgumentParser:
                            help="run the attack scenarios; print Table 1")
     audit.add_argument("--scheme", type=_scheme, default=None,
                        help="audit a single scheme instead of all")
+    audit.add_argument("--exposure", action="store_true",
+                       help="also measure and print the per-scheme "
+                            "exposure report (stale windows, granularity "
+                            "excess, faults)")
 
     stream = sub.add_parser("stream", parents=[tracing],
                             help="netperf TCP_STREAM (Figs 3/4/6/7)")
@@ -180,10 +185,13 @@ def cmd_schemes() -> int:
     return 0
 
 
-def cmd_audit(scheme: str | None) -> int:
+def cmd_audit(scheme: str | None, exposure: bool = False) -> int:
     schemes: Sequence[str] = (scheme,) if scheme else ALL_SCHEMES
-    rows = audit_all(schemes=schemes, strict=False)
+    rows = audit_all(schemes=schemes, strict=False, exposure=exposure)
     print(render_table1(rows))
+    if exposure:
+        print()
+        print(render_audit_exposure(rows))
     bad = [row.scheme for row in rows if not row.matches_claims]
     if bad:
         print(f"\nMISMATCH between observed and claimed properties: {bad}",
@@ -254,7 +262,7 @@ def main(argv: Iterable[str] | None = None) -> int:
     if args.command == "schemes":
         return cmd_schemes()
     if args.command == "audit":
-        return cmd_audit(args.scheme)
+        return cmd_audit(args.scheme, exposure=args.exposure)
     if args.command == "stream":
         obs = _make_obs(args)
         result = run_tcp_stream(StreamConfig(

@@ -103,6 +103,7 @@ class ShadowDmaApi(DmaApi):
         self.cost = machine.cost
         self.iommu = iommu
         self.domain: Domain = iommu.attach_device(device_id)
+        self.domain_id = self.domain.domain_id
         self.allocators = allocators
         self.fallback_iova = fallback_iova
         self.hybrid_huge_buffers = hybrid_huge_buffers
@@ -229,7 +230,7 @@ class ShadowDmaApi(DmaApi):
         if head_len:
             head_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE, rights)
             self.iommu.map_range(self.domain, cursor, head_meta.pa,
-                                 PAGE_SIZE, rights, core)
+                                 PAGE_SIZE, rights, core, kind="dedicated")
             if direction.device_reads:
                 self._charged_copy(core, dst_pa=head_meta.pa + offset,
                                    src_pa=buf.pa, nbytes=head_len,
@@ -243,7 +244,7 @@ class ShadowDmaApi(DmaApi):
         if tail_len:
             tail_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE, rights)
             self.iommu.map_range(self.domain, cursor, tail_meta.pa,
-                                 PAGE_SIZE, rights, core)
+                                 PAGE_SIZE, rights, core, kind="dedicated")
             if direction.device_reads:
                 tail_src = buf.pa + head_len + (middle_pages << PAGE_SHIFT)
                 self._charged_copy(core, dst_pa=tail_meta.pa,
@@ -302,7 +303,7 @@ class ShadowDmaApi(DmaApi):
         npages = 1 << order
         iova = self.fallback_iova.alloc(npages, core, pa)
         self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
-                             Perm.RW, core)
+                             Perm.RW, core, kind="dedicated")
         kbuf = KBuffer(pa=pa, size=size, node=node)
         buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
         self._coherent[iova] = buf

@@ -405,7 +405,7 @@ class ShadowBufferPool:
             metas.append(meta)
         # One page-granular mapping covers every carved buffer.
         self.iommu.map_range(self.domain, metas[0].iova, page_pa,
-                             PAGE_SIZE, rights, core)
+                             PAGE_SIZE, rights, core, kind="dedicated")
         return metas
 
     def _make_meta(self, core: Core, flist: _FreeList, pa: int,
@@ -419,7 +419,8 @@ class ShadowBufferPool:
         if index is None:
             return self._make_fallback_meta(core, flist, pa, node)
         iova = self.codec.encode(core_id, rights, class_index, index)
-        self.iommu.map_range(self.domain, iova, pa, size, rights, core)
+        self.iommu.map_range(self.domain, iova, pa, size, rights, core,
+                             kind="dedicated")
         meta = ShadowBufferMeta(
             meta_index=index, domain_node=node, class_index=class_index,
             size=size, pa=pa, iova=iova, list_key=flist.key,
@@ -443,7 +444,8 @@ class ShadowBufferPool:
         # Sub-page buffers map their whole (same-rights) page; larger
         # buffers map exactly their pages.
         self.iommu.map_range(self.domain, iova_base, page_pa,
-                             max(size + offset, PAGE_SIZE), rights, core)
+                             max(size + offset, PAGE_SIZE), rights, core,
+                             kind="dedicated")
         iova = iova_base + offset
         meta = ShadowBufferMeta(
             meta_index=-1, domain_node=node, class_index=class_index,

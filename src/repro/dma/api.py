@@ -121,6 +121,10 @@ class DmaApi(abc.ABC):
     #: Scheme identifier used by the registry and in result tables.
     name: str = "abstract"
     properties: SchemeProperties
+    #: Protection domain the scheme maps into, when it has one.
+    #: IOMMU-backed subclasses set this; ``None`` (no-iommu, swiotlb)
+    #: means the exposure accountant has no domain to attribute to.
+    domain_id: int | None = None
 
     def __init__(self) -> None:
         self._live: Dict[int, _LiveMapping] = {}
@@ -155,6 +159,9 @@ class DmaApi(abc.ABC):
                                  size=buf.size,
                                  direction=direction.value)
             self.obs.metrics.counter(f"dma.maps:{self.name}").inc()
+            self.obs.exposure.note_dma_map(core.now, self.name,
+                                           self.domain_id, handle.iova,
+                                           buf.size)
         return handle
 
     def dma_unmap(self, core: Core, handle: DmaHandle) -> None:
@@ -179,6 +186,9 @@ class DmaApi(abc.ABC):
                                  scheme=self.name, iova=handle.iova,
                                  size=handle.size)
             self.obs.metrics.counter(f"dma.unmaps:{self.name}").inc()
+            self.obs.exposure.note_dma_unmap(core.now, self.name,
+                                             self.domain_id, handle.iova,
+                                             handle.size)
 
     def dma_map_sg(self, core: Core, bufs: Sequence[KBuffer],
                    direction: DmaDirection) -> List[DmaHandle]:

@@ -101,6 +101,7 @@ class SelfInvalidatingDmaApi(DmaApi):
         self.cost = machine.cost
         self.iommu = iommu
         self.domain: Domain = iommu.attach_device(device_id)
+        self.domain_id = self.domain.domain_id
         self.allocators = allocators
         self.dma_budget = dma_budget
         self.lifetime_cycles = us_to_cycles(lifetime_us)
@@ -154,6 +155,8 @@ class SelfInvalidatingDmaApi(DmaApi):
 
     def _revoke(self, armed: _ArmedMapping) -> None:
         """Hardware-side revocation: drop the PTEs + IOTLB entries."""
+        obs = self.machine.obs
+        now = self.machine.wall_clock() if obs.enabled else 0
         first = armed.iova_base >> PAGE_SHIFT
         for i in range(armed.npages):
             page = first + i
@@ -162,8 +165,18 @@ class SelfInvalidatingDmaApi(DmaApi):
                 self._page_rc.pop(page, None)
                 if self.domain.page_table.lookup(page) is not None:
                     self.domain.page_table.unmap_page(page)
+                    if obs.enabled:
+                        # Bypasses Iommu.unmap_range, so the exposure
+                        # accountant hears about it here; the hardware
+                        # drops PTE and IOTLB entry in one action.
+                        obs.exposure.note_unmap_range(
+                            now, self.domain.domain_id,
+                            page << PAGE_SHIFT, PAGE_SIZE, {page})
         self.iommu.iotlb.invalidate_pages(self.domain.domain_id, first,
                                           armed.npages)
+        if obs.enabled:
+            obs.exposure.note_invalidate_pages(now, self.domain.domain_id,
+                                               first, armed.npages)
         self.self_invalidations += 1
         # Identity IOVAs need no recycling bookkeeping.
 
@@ -187,7 +200,7 @@ class SelfInvalidatingDmaApi(DmaApi):
         iova = self.iova_allocator.alloc(npages, core, pa)
         # Coherent mappings are *not* armed: they must live until freed.
         self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
-                             Perm.RW, core)
+                             Perm.RW, core, kind="dedicated")
         kbuf = KBuffer(pa=pa, size=size, node=node)
         buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
         self._coherent[iova] = buf

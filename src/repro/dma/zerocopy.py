@@ -70,6 +70,7 @@ class ZeroCopyDmaApi(DmaApi):
         self.cost = machine.cost
         self.iommu = iommu
         self.domain: Domain = iommu.attach_device(device_id)
+        self.domain_id = self.domain.domain_id
         self.allocators = allocators
         self.iova_allocator = iova_allocator
         self._port = TranslatingDmaPort(iommu, self.domain)
@@ -156,7 +157,7 @@ class ZeroCopyDmaApi(DmaApi):
         npages = 1 << order
         iova = self.iova_allocator.alloc(npages, core, pa)
         self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
-                             Perm.RW, core)
+                             Perm.RW, core, kind="dedicated")
         kbuf = KBuffer(pa=pa, size=size, node=node)
         buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
         self._coherent[iova] = buf

@@ -115,6 +115,8 @@ class InvalidationQueue:
         self.lock.acquire(core)
         self._submit_and_wait(core, scope="domain", domain_id=domain_id)
         self.iotlb.invalidate_domain(domain_id)
+        if self.obs.enabled:
+            self.obs.exposure.note_invalidate_domain(core.now, domain_id)
         self.lock.release(core)
         self.sync_invalidations += 1
 
@@ -154,6 +156,11 @@ class InvalidationQueue:
         self._submit_and_wait(core, scope="page", domain_id=domain_id,
                               npages=npages)
         self.iotlb.invalidate_pages(domain_id, iova_page, npages)
+        if self.obs.enabled:
+            # ``core.now`` is the completion instant — the true
+            # revocation time the exposure windows close at.
+            self.obs.exposure.note_invalidate_pages(core.now, domain_id,
+                                                    iova_page, npages)
 
     # ------------------------------------------------------------------
     # Deferred protection: flush a batch with one global invalidation.
@@ -172,6 +179,8 @@ class InvalidationQueue:
         self._submit_and_wait(core, scope="global",
                               npages=sum(p.npages for p in pending))
         self.iotlb.invalidate_all()
+        if self.obs.enabled:
+            self.obs.exposure.note_invalidate_all(core.now)
         self.lock.release(core)
         self.batch_flushes += 1
         if self.obs.enabled:

@@ -15,8 +15,9 @@ trade-off the paper is about.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Protocol
+from typing import Deque, Dict, Iterator, List, Protocol
 
 from repro.errors import ConfigurationError, IommuFault
 from repro.hw.cpu import CAT_PT_MGMT, Core
@@ -25,17 +26,68 @@ from repro.hw.machine import Machine
 from repro.iommu.invalidation import InvalidationQueue
 from repro.iommu.iotlb import Iotlb
 from repro.iommu.page_table import IoPageTable, Perm, PteEntry
+from repro.obs.exposure import KIND_OS
+from repro.obs.trace import EV_IOMMU_FAULT
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE
 
 
 @dataclass(frozen=True)
 class FaultRecord:
-    """One blocked DMA, as the OS would see it in the fault log."""
+    """One blocked DMA, as the OS would see it in the fault log.
+
+    ``t`` is the simulated cycle the fault was raised at (the machine's
+    wall clock — device-side accesses have no core of their own) and
+    ``domain_id`` the protection domain it hit.
+    """
 
     device_id: int
     iova: int
     is_write: bool
     reason: str
+    t: int = -1
+    domain_id: int = -1
+
+
+class FaultRing:
+    """Bounded fault log with :class:`~repro.obs.trace.RingTracer`
+    semantics: once full the *oldest* records are evicted, ``recorded``
+    counts every fault ever appended, and ``dropped`` reports the loss.
+
+    Supports the sequence operations the OS-side consumers use
+    (``len``, truthiness, indexing, iteration).
+    """
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ConfigurationError(
+                f"fault ring capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[FaultRecord] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def append(self, record: FaultRecord) -> None:
+        self._ring.append(record)
+        self.recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.recorded - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __bool__(self) -> bool:
+        return bool(self._ring)
+
+    def __iter__(self) -> Iterator[FaultRecord]:
+        return iter(self._ring)
+
+    def __getitem__(self, index: int) -> FaultRecord:
+        return self._ring[index]
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.recorded = 0
 
 
 @dataclass
@@ -52,16 +104,18 @@ class Iommu:
     domains."""
 
     def __init__(self, machine: Machine, iotlb_capacity: int = 4096,
-                 concurrent_invalidation_lock: bool = True):
+                 concurrent_invalidation_lock: bool = True,
+                 fault_capacity: int = 1024):
         self.machine = machine
         self.cost = machine.cost
+        self.obs = machine.obs
         self.iotlb = Iotlb(capacity=iotlb_capacity)
         lock = (SpinLock("qi-lock", machine.cost, obs=machine.obs)
                 if concurrent_invalidation_lock else NullLock("qi-lock"))
         self.invalidation_queue = InvalidationQueue(self.iotlb, machine.cost,
                                                     lock, obs=machine.obs)
         self.domains: Dict[int, Domain] = {}
-        self.faults: List[FaultRecord] = []
+        self.faults = FaultRing(capacity=fault_capacity)
         self._domain_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -77,11 +131,16 @@ class Iommu:
         return domain
 
     def map_range(self, domain: Domain, iova: int, pa: int, size: int,
-                  perm: Perm, core: Core | None = None) -> None:
+                  perm: Perm, core: Core | None = None,
+                  kind: str = KIND_OS) -> None:
         """Map ``size`` bytes of physically-contiguous memory at ``iova``.
 
         ``iova`` and ``pa`` must share their page offset (the mapping is
         page-granular; sub-page offsets pass through unchanged).
+        ``kind`` tags the memory for exposure accounting: ``"os"`` for
+        data the OS lends to the device (the default), ``"dedicated"``
+        for scheme-owned state (shadow buffers, coherent rings) that
+        carries no co-located foreign data.
         """
         if size <= 0:
             raise ConfigurationError("mapping of non-positive size")
@@ -96,6 +155,11 @@ class Iommu:
             domain.page_table.map_page(first_iova_page + i, first_pfn + i, perm)
         if core is not None:
             core.charge(self.cost.pt_map_cycles * npages, CAT_PT_MGMT)
+        if self.obs.enabled:
+            t = core.now if core is not None else self.machine.wall_clock()
+            self.obs.exposure.note_map_range(t, domain.domain_id,
+                                            domain.device_id, iova, size,
+                                            kind)
 
     def unmap_range(self, domain: Domain, iova: int, size: int,
                     core: Core | None = None) -> int:
@@ -111,6 +175,13 @@ class Iommu:
             domain.page_table.unmap_page(first_page + i)
         if core is not None:
             core.charge(self.cost.pt_unmap_cycles * npages, CAT_PT_MGMT)
+        if self.obs.enabled:
+            t = core.now if core is not None else self.machine.wall_clock()
+            cached = {first_page + i for i in range(npages)
+                      if self.iotlb.peek(domain.domain_id,
+                                         first_page + i) is not None}
+            self.obs.exposure.note_unmap_range(t, domain.domain_id, iova,
+                                               size, cached)
         return npages
 
     # ------------------------------------------------------------------
@@ -133,13 +204,27 @@ class Iommu:
         if not entry.perm.allows(is_write=is_write):
             self._fault(domain, iova, is_write,
                         f"permission ({entry.perm.name})")
+        if self.obs.enabled:
+            self.obs.exposure.note_access(self.machine.wall_clock(),
+                                          domain.domain_id, iova, is_write)
         return entry
 
     def _fault(self, domain: Domain, iova: int, is_write: bool,
                reason: str) -> None:
+        t = self.machine.wall_clock()
         record = FaultRecord(device_id=domain.device_id, iova=iova,
-                             is_write=is_write, reason=reason)
+                             is_write=is_write, reason=reason,
+                             t=t, domain_id=domain.domain_id)
         self.faults.append(record)
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_IOMMU_FAULT, t, -1,
+                                 device=domain.device_id,
+                                 domain=domain.domain_id, iova=iova,
+                                 write=is_write, reason=reason)
+            self.obs.metrics.counter("iommu.faults").inc()
+            self.obs.exposure.note_fault(t, domain.domain_id,
+                                         domain.device_id, iova,
+                                         is_write, reason)
         raise IommuFault(domain.device_id, iova, is_write=is_write,
                          reason=reason)
 

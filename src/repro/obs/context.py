@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.exposure import ExposureAccountant
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecorder
 from repro.obs.trace import EV_PHASE, NullTracer, RingTracer
@@ -41,13 +42,18 @@ class Observability:
 
     def __init__(self, tracer=None, metrics: MetricsRegistry | None = None,
                  enabled: bool = True,
-                 spans: SpanRecorder | None = None):
+                 spans: SpanRecorder | None = None,
+                 exposure: ExposureAccountant | None = None):
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Hierarchical cycle-attribution recorder (see repro.obs.spans).
         self.spans = spans if spans is not None else SpanRecorder()
+        #: Exposure accountant (see repro.obs.exposure): stale windows,
+        #: granularity excess, mapped surface, fault forensics.
+        self.exposure = exposure if exposure is not None \
+            else ExposureAccountant(metrics=self.metrics, spans=self.spans)
         #: Master switch instrumented hot paths guard on.  Disabled means
-        #: neither events, metrics, nor spans are recorded.
+        #: neither events, metrics, spans, nor exposure are recorded.
         self.enabled = enabled and self.tracer.enabled
         self.phases: List[PhaseRecord] = []
 

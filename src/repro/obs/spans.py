@@ -171,6 +171,11 @@ class SpanRecorder:
     def open_spans(self) -> int:
         return sum(len(s) for s in self._stacks.values())
 
+    def open_paths(self) -> Dict[int, Tuple[str, ...]]:
+        """Per-core path of currently-open spans (fault forensics)."""
+        return {cid: tuple(node.name for node, _ in stack)
+                for cid, stack in self._stacks.items() if stack}
+
     def tree(self) -> SpanNode:
         """The attribution root (named ``run``; roots of real spans are
         its children)."""

@@ -48,6 +48,7 @@ EV_NET_RX = "net.rx"                    # frame received + processed
 EV_NET_TX = "net.tx"                    # chunk posted for transmission
 EV_SCHED_STEP = "sched.step"            # scheduler dispatched one work unit
 EV_PHASE = "phase"                      # workload phase boundary
+EV_IOMMU_FAULT = "iommu.fault"          # DMA blocked by the IOMMU
 
 ALL_EVENT_KINDS = (
     EV_LOCK_ACQUIRE, EV_LOCK_CONTEND, EV_LOCK_RELEASE,
@@ -55,7 +56,7 @@ ALL_EVENT_KINDS = (
     EV_POOL_GROW, EV_POOL_SHRINK, EV_POOL_FALLBACK,
     EV_DMA_MAP, EV_DMA_UNMAP, EV_DMA_COPY,
     EV_NET_RX, EV_NET_TX,
-    EV_SCHED_STEP, EV_PHASE,
+    EV_SCHED_STEP, EV_PHASE, EV_IOMMU_FAULT,
 )
 
 

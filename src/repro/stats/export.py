@@ -49,6 +49,18 @@ def result_to_row(result: RunResult) -> dict:
     for category in ALL_CATEGORIES:
         row[f"us_{category.replace(' ', '_')}"] = round(
             breakdown[category], 4)
+    exposure = result.extras.get("exposure")
+    if isinstance(exposure, dict):
+        # Security columns the bench regression gate guards alongside
+        # the performance ones (see repro.obs.exposure for definitions).
+        row["exposure_stale_byte_cycles"] = \
+            exposure.get("stale_byte_cycles", 0)
+        row["exposure_excess_byte_cycles"] = \
+            exposure.get("granularity_excess_byte_cycles", 0)
+        row["exposure_peak_surface_bytes"] = \
+            exposure.get("peak_surface_bytes", 0)
+        row["exposure_stale_accesses"] = exposure.get("stale_accesses", 0)
+        row["exposure_faults"] = exposure.get("faults", 0)
     return row
 
 

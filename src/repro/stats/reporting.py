@@ -126,6 +126,41 @@ def render_property_matrix(rows: Sequence[tuple[str, Dict[str, bool]]],
     return "\n".join(lines)
 
 
+def render_exposure_report(rows: Sequence[tuple[str, Dict[str, object] | None]],
+                           title: str = "Exposure report") -> str:
+    """Per-scheme exposure metrics (see :mod:`repro.obs.exposure`).
+
+    ``rows`` pairs a scheme label with its exposure summary — ``None``
+    marks a scheme with no IOMMU domain at all (no-iommu, SWIOTLB),
+    where the device's reach is not bounded by translation in the
+    first place.
+    """
+    lines = [title,
+             f"{'scheme':<34}{'stale B*cyc':>14}{'max win cyc':>12}"
+             f"{'stale hits':>11}{'excess B*cyc':>14}{'peak excess B':>14}"
+             f"{'surface B':>11}{'faults':>8}"]
+    unprotected = "- unprotected: device reach not bounded by translation -"
+    for label, summary in rows:
+        if summary is None:
+            lines.append(f"{label:<34}{unprotected:^84}")
+            continue
+        lines.append(
+            f"{label:<34}"
+            f"{summary.get('stale_byte_cycles', 0):>14}"
+            f"{summary.get('stale_peak_window_cycles', 0):>12}"
+            f"{summary.get('stale_accesses', 0):>11}"
+            f"{summary.get('granularity_excess_byte_cycles', 0):>14}"
+            f"{summary.get('peak_excess_bytes', 0):>14}"
+            f"{summary.get('peak_surface_bytes', 0):>11}"
+            f"{summary.get('faults', 0):>8}")
+    lines.append("")
+    lines.append("stale B*cyc: byte-cycles device-reachable after OS unmap "
+                 "(deferred window); excess B*cyc: OS bytes beyond the "
+                 "requested range (page granularity), integrated over the "
+                 "mapping lifetime.")
+    return "\n".join(lines)
+
+
 def render_memcached_table(results: Dict[str, RunResult],
                            baseline: str = "no-iommu",
                            title: str = "") -> str:

@@ -144,8 +144,36 @@ def render_span_tree(root: SpanNode, max_depth: int | None = None) -> str:
     return "\n".join(lines)
 
 
+def render_exposure_summary(exposure) -> str:
+    """The exposure accountant's totals + recent fault forensics."""
+    summary = exposure.summary()
+    lines: List[str] = ["== exposure =="]
+    if not summary["domains"]:
+        lines.append("  (no IOMMU domain observed)")
+        return "\n".join(lines)
+    for key in ("stale_byte_cycles", "stale_windows",
+                "stale_peak_window_cycles", "stale_accesses",
+                "stale_open_pages", "granularity_excess_byte_cycles",
+                "peak_excess_bytes", "peak_surface_bytes",
+                "live_mappings", "faults", "faults_dropped"):
+        lines.append(f"  {key:<32}  {summary[key]:>14}")
+    if exposure.faults:
+        lines.append("recent faults:")
+        for fault in list(exposure.faults)[-5:]:
+            where = " ".join(f"core{cid}:{' -> '.join(path)}"
+                             for cid, path in fault.open_spans) or "-"
+            lines.append(
+                f"  t={fault.t} dev={fault.device_id:#x} "
+                f"iova={fault.iova:#x} "
+                f"{'write' if fault.is_write else 'read'} "
+                f"[{fault.reason}] page={fault.page_state} "
+                f"map_t={fault.last_map_t} unmap_t={fault.last_unmap_t} "
+                f"spans: {where}")
+    return "\n".join(lines)
+
+
 def render_observability_report(obs: Observability) -> str:
-    """Trace summary + phase table + span tree + metrics summary."""
+    """Trace summary + phase table + span tree + metrics + exposure."""
     sections = [
         render_trace_summary(obs.tracer),
         render_phase_table(obs.phases),
@@ -153,4 +181,5 @@ def render_observability_report(obs: Observability) -> str:
     if obs.spans.closed:
         sections.append(render_span_tree(obs.spans.tree()))
     sections.append(render_metrics_summary(obs.metrics))
+    sections.append(render_exposure_summary(obs.exposure))
     return "\n".join(sections)

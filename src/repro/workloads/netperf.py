@@ -118,6 +118,7 @@ def _collect(system: System, cfg_scheme: str, workload: str,
     obs = machine.obs
     if obs.enabled:
         result.extras["metrics"] = obs.metrics.snapshot()
+        result.extras["exposure"] = obs.exposure.summary()
     return result
 
 

@@ -178,4 +178,5 @@ def run_storage(cfg: StorageConfig) -> RunResult:
             iommu.invalidation_queue.sync_invalidations
     if obs.enabled:
         result.extras["metrics"] = obs.metrics.snapshot()
+        result.extras["exposure"] = obs.exposure.summary()
     return result

@@ -34,20 +34,27 @@ def _span_tree(lock_wait_cycles: int) -> dict:
 
 
 def _record(throughput: float, us_per_unit: float,
-            lock_wait_cycles: int = 10_000) -> dict:
+            lock_wait_cycles: int = 10_000,
+            scheme: str = "identity-strict",
+            stale_byte_cycles: int | None = None,
+            excess_byte_cycles: int | None = None) -> dict:
     row = {
-        "figure": "fig03", "scheme": "identity-strict",
+        "figure": "fig03", "scheme": scheme,
         "workload": "tcp_stream_rx", "cores": 1,
         "param_message_size": 65536,
         "throughput_gbps": throughput, "us_per_unit": us_per_unit,
         "latency_us": None, "transactions_per_sec": None,
     }
+    if stale_byte_cycles is not None:
+        row["exposure_stale_byte_cycles"] = stale_byte_cycles
+    if excess_byte_cycles is not None:
+        row["exposure_excess_byte_cycles"] = excess_byte_cycles
     figures = {"fig03": {
         "title": "Figure 3", "series": [row],
-        "spans": {"identity-strict": _span_tree(lock_wait_cycles)},
+        "spans": {scheme: _span_tree(lock_wait_cycles)},
     }}
     return build_record(mode="quick", figures=figures,
-                        schemes=("identity-strict",))
+                        schemes=(scheme,))
 
 
 def test_identical_records_pass():
@@ -126,6 +133,60 @@ def test_gate_exit_status(tmp_path):
     assert gate_against_baseline(str(path), copy.deepcopy(base)) == 0
     slow = _record(6.6 * 0.5, 1.17 * 2, lock_wait_cycles=90_000)
     assert gate_against_baseline(str(path), slow) == 1
+
+
+def test_exposure_growth_beyond_band_trips():
+    """A deferred scheme whose stale window grows 2x is a security
+    regression, caught by the same gate as the perf metrics."""
+    base = _record(6.6, 1.17, scheme="identity-deferred",
+                   stale_byte_cycles=1_000_000)
+    cur = _record(6.6, 1.17, scheme="identity-deferred",
+                  stale_byte_cycles=2_000_000)
+    regs = compare_records(base, cur)
+    assert {r.metric for r in regs} == {"exposure_stale_byte_cycles"}
+    assert regs[0].change == 1.0
+
+
+def test_exposure_within_band_passes():
+    base = _record(6.6, 1.17, scheme="identity-deferred",
+                   stale_byte_cycles=1_000_000)
+    cur = _record(6.6, 1.17, scheme="identity-deferred",
+                  stale_byte_cycles=1_400_000)   # +40%, 50% band
+    assert compare_records(base, cur) == []
+
+
+def test_exposure_from_zero_baseline_trips():
+    """copy's baseline exposure is provably zero; any growth from zero
+    must trip even though relative change is undefined."""
+    import math
+
+    base = _record(6.6, 1.17, scheme="copy",
+                   stale_byte_cycles=0, excess_byte_cycles=0)
+    cur = _record(6.6, 1.17, scheme="copy",
+                  stale_byte_cycles=4096, excess_byte_cycles=8192)
+    regs = compare_records(base, cur)
+    assert {r.metric for r in regs} == {"exposure_stale_byte_cycles",
+                                        "exposure_excess_byte_cycles"}
+    for reg in regs:
+        assert reg.baseline == 0.0
+        assert reg.change == math.inf
+    report = render_gate_report(base, cur, regs)
+    assert "FAIL" in report
+
+
+def test_exposure_reduction_never_trips():
+    base = _record(6.6, 1.17, scheme="identity-deferred",
+                   stale_byte_cycles=2_000_000)
+    cur = _record(6.6, 1.17, scheme="identity-deferred",
+                  stale_byte_cycles=0)
+    assert compare_records(base, cur) == []
+
+
+def test_records_without_exposure_columns_still_gate():
+    """Old baselines (pre-exposure) skip the exposure metrics cleanly."""
+    base = _record(6.6, 1.17)
+    cur = _record(6.6, 1.17, stale_byte_cycles=5_000_000)
+    assert compare_records(base, cur) == []
 
 
 def test_mode_mismatch_warns_but_compares():

@@ -91,6 +91,64 @@ def test_translate_permission_fault(iommu):
     assert "permission" in iommu.faults[-1].reason
 
 
+def test_fault_record_carries_timestamp_and_domain(iommu):
+    domain = iommu.attach_device(7)
+    with pytest.raises(IommuFault):
+        iommu.translate(domain, 0xdead000, is_write=True)
+    rec = iommu.faults[0]
+    assert rec.t >= 0
+    assert rec.domain_id == domain.domain_id
+    assert rec.device_id == 7
+
+
+def test_fault_ring_is_bounded(machine):
+    from repro.iommu.iommu import FaultRing
+
+    iommu = Iommu(machine, fault_capacity=3)
+    domain = iommu.attach_device(1)
+    for i in range(8):
+        with pytest.raises(IommuFault):
+            iommu.translate(domain, 0x1000 * (i + 1), is_write=True)
+    assert isinstance(iommu.faults, FaultRing)
+    assert len(iommu.faults) == 3
+    assert iommu.faults.recorded == 8
+    assert iommu.faults.dropped == 5
+    # Oldest evicted first: the survivors are the newest three.
+    assert [f.iova for f in iommu.faults] == [0x6000, 0x7000, 0x8000]
+    assert iommu.faults[0].iova == 0x6000
+    assert bool(iommu.faults)
+    iommu.faults.clear()
+    assert not iommu.faults
+    assert iommu.faults.recorded == 0
+
+
+def test_fault_ring_rejects_bad_capacity(machine):
+    from repro.iommu.iommu import FaultRing
+
+    with pytest.raises(ConfigurationError):
+        FaultRing(capacity=0)
+    with pytest.raises(ConfigurationError):
+        Iommu(machine, fault_capacity=-1)
+
+
+def test_fault_emits_trace_event_and_counter(machine):
+    from repro.obs.context import Observability
+    from repro.obs.trace import EV_IOMMU_FAULT
+
+    obs = Observability.capture()
+    machine.obs = obs
+    iommu = Iommu(machine)
+    domain = iommu.attach_device(9)
+    with pytest.raises(IommuFault):
+        iommu.translate(domain, 0xbad000, is_write=False)
+    kinds = obs.tracer.counts_by_kind()
+    assert kinds[EV_IOMMU_FAULT] == 1
+    assert obs.metrics.counters["iommu.faults"].value == 1
+    # The exposure accountant got the forensic record too.
+    assert len(obs.exposure.faults) == 1
+    assert obs.exposure.faults[0].domain_id == domain.domain_id
+
+
 def test_stale_iotlb_entry_survives_pt_unmap(iommu):
     """The crux of the deferred window: unmap without invalidation leaves
     the translation usable."""

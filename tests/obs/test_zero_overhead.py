@@ -66,6 +66,39 @@ def test_traced_stream_identical_under_contention():
     assert traced.breakdown_cycles == bare.breakdown_cycles
 
 
+def test_exposure_accounting_is_cycle_identical():
+    """The exposure accountant observes every map/unmap/invalidation
+    and the deferred scheme keeps it busy (stale windows accumulate);
+    none of that may shift a single simulated cycle."""
+    cfg = dict(_RR, scheme="identity-deferred")
+    bare = run_tcp_rr(RRConfig(**cfg))
+    obs = Observability.capture()
+    traced = run_tcp_rr(RRConfig(**cfg, obs=obs))
+    assert traced.wall_cycles == bare.wall_cycles
+    assert traced.busy_cycles == bare.busy_cycles
+    assert traced.breakdown_cycles == bare.breakdown_cycles
+    assert traced.latency_us == bare.latency_us
+    # The accountant actually accounted: the deferred window is real.
+    summary = obs.exposure.summary()
+    assert summary["stale_byte_cycles"] > 0
+    assert summary["stale_windows"] > 0
+    # And an exposure snapshot rides along in extras for export (taken
+    # at collect time, so teardown unmaps may still follow it).
+    snap = traced.extras["exposure"]
+    assert snap["stale_byte_cycles"] > 0
+    assert "exposure" not in bare.extras
+
+
+def test_exposure_null_run_records_nothing():
+    """With the null context the exposure note sites never fire."""
+    null_obs = Observability(tracer=NullTracer())
+    run_tcp_rr(RRConfig(**dict(_RR, scheme="identity-deferred"),
+                        obs=null_obs))
+    summary = null_obs.exposure.summary()
+    assert not summary["domains"]
+    assert summary["faults"] == 0
+
+
 def test_span_instrumented_run_is_byte_identical():
     """The span begin/end sites are behind the same ``obs.enabled``
     guard as the tracer; a NullTracer run records no spans and stays

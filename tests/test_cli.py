@@ -35,6 +35,27 @@ def test_audit_single_scheme(capsys):
     assert "identity-" in out
 
 
+def test_audit_exposure_report(capsys):
+    code, out = run_cli(capsys, "audit", "--exposure")
+    assert code == 0
+    assert "Exposure report" in out
+    assert "stale B*cyc" in out
+    # Schemes with no IOMMU domain render as unprotected.
+    assert "device reach not bounded by translation" in out
+    # The deferred scheme's stale window is a positive number; copy's
+    # row is all zeros for stale and excess.
+    report = out[out.index("Exposure report"):]
+    deferred = copy_row = None
+    for line in report.splitlines():
+        if line.startswith("identity- (deferred"):
+            deferred = line.split()
+        if line.startswith("copy (shadow buffers)"):
+            copy_row = line.split()
+    assert deferred is not None and copy_row is not None
+    assert int(deferred[-7]) > 0               # stale B*cyc column
+    assert copy_row[-7] == "0" and copy_row[-4] == "0"
+
+
 def test_stream_rx(capsys):
     code, out = run_cli(capsys, "stream", "--scheme", "copy",
                         "--size", "16384", "--units", "150")

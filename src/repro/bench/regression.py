@@ -37,6 +37,13 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[bool, float]] = {
     # appears where the baseline had none — is a protection regression.
     "exposure_stale_byte_cycles": (False, 0.5),
     "exposure_excess_byte_cycles": (False, 0.5),
+    # Request-latency tails (repro.obs.requests).  Percentiles are
+    # noisier than means — the further into the tail, the wider the
+    # band — but a p99 that doubles is exactly what this layer exists
+    # to catch.
+    "latency_p50_us": (False, 0.10),
+    "latency_p99_us": (False, 0.15),
+    "latency_p999_us": (False, 0.25),
 }
 
 

@@ -1,0 +1,169 @@
+"""One-shot consolidated report: ``python -m repro report``.
+
+Runs the quick-scale figure registry (the same sweeps ``bench --quick``
+runs), then writes a single markdown document that combines
+
+* the standard per-figure tables and span highlights of a bench record
+  (:func:`repro.bench.record.render_markdown`);
+* a **request latency tail table** — every series point that carried
+  ``latency_p50/p99/p999`` columns, side by side across schemes;
+* a **tail attribution** section — two contrasting 16-core MTU RX
+  captures (``identity-strict`` vs ``copy``) with the critical-path
+  analyzer's verdict for each, so the report states *why* the strict
+  scheme's tail is slow (invalidation-lock wait) and where the copy
+  scheme pays instead (the copy itself).
+
+Unlike ``bench``, no ``BENCH_*.json`` record is written — this is the
+human-facing artifact (CI uploads it; see ``.github/workflows/ci.yml``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.record import build_record, render_markdown
+from repro.bench.runner import (
+    FIGURE_SCHEMES,
+    QUICK_SCALE,
+    default_results_dir,
+    select_figures,
+)
+from repro.obs.context import Observability
+from repro.obs.requests import REQ_RX, tail_report
+from repro.stats.timeline import render_tail_report
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+#: Sizing of the contrast captures in the tail-attribution section:
+#: enough 16-core MTU frames for a stable p99 without dominating the
+#: report's runtime.
+_ATTRIBUTION_CORES = 16
+_ATTRIBUTION_UNITS = 60
+_ATTRIBUTION_WARMUP = 15
+_ATTRIBUTION_SIZE = 1448
+
+
+def _latency_rows(record: Dict) -> List[Tuple[str, Dict]]:
+    rows: List[Tuple[str, Dict]] = []
+    for name, figure in record.get("figures", {}).items():
+        for row in figure.get("series", ()):
+            if row.get("latency_p50_us") is not None:
+                rows.append((name, row))
+    return rows
+
+
+def _latency_table(record: Dict) -> List[str]:
+    """Markdown table of every series point with request-tail columns."""
+    rows = _latency_rows(record)
+    if not rows:
+        return ["(no request-latency data in this run)"]
+    lines = [
+        "| figure | scheme | workload | cores | params | p50 [us] "
+        "| p99 [us] | p99.9 [us] |",
+        "|---|---|---|---:|---|---:|---:|---:|",
+    ]
+    for name, row in rows:
+        params = ", ".join(
+            f"{key[len('param_'):]}={value}"
+            for key, value in sorted(row.items())
+            if key.startswith("param_") and key != "param_cores"
+            and key != "param_direction")
+        lines.append(
+            f"| {name} | {row.get('scheme')} | {row.get('workload')} "
+            f"| {row.get('cores')} | {params} "
+            f"| {row.get('latency_p50_us')} "
+            f"| {row.get('latency_p99_us')} "
+            f"| {row.get('latency_p999_us')} |")
+    return lines
+
+
+def _exposure_table(record: Dict) -> List[str]:
+    """Per-scheme exposure totals summed across the run's series rows."""
+    per_scheme: Dict[str, Dict[str, int]] = {}
+    for figure in record.get("figures", {}).values():
+        for row in figure.get("series", ()):
+            if row.get("exposure_stale_byte_cycles") is None:
+                continue
+            agg = per_scheme.setdefault(str(row.get("scheme")),
+                                        {"stale": 0, "excess": 0,
+                                         "faults": 0})
+            agg["stale"] += row.get("exposure_stale_byte_cycles", 0)
+            agg["excess"] += row.get("exposure_excess_byte_cycles", 0)
+            agg["faults"] += row.get("exposure_faults", 0)
+    if not per_scheme:
+        return ["(no exposure data in this run)"]
+    lines = [
+        "| scheme | stale [B·cyc] | granularity excess [B·cyc] "
+        "| faults |",
+        "|---|---:|---:|---:|",
+    ]
+    for scheme, agg in sorted(per_scheme.items()):
+        lines.append(f"| {scheme} | {agg['stale']:,} | {agg['excess']:,} "
+                     f"| {agg['faults']:,} |")
+    return lines
+
+
+def _tail_attribution(tail: float) -> List[str]:
+    """Contrast captures: where the tail goes, strict vs copy."""
+    lines: List[str] = []
+    for scheme in ("identity-strict", "copy"):
+        obs = Observability.capture(trace_capacity=256)
+        run_tcp_stream_rx(StreamConfig(
+            scheme=scheme, direction="rx",
+            message_size=_ATTRIBUTION_SIZE, cores=_ATTRIBUTION_CORES,
+            units_per_core=_ATTRIBUTION_UNITS,
+            warmup_units=_ATTRIBUTION_WARMUP, obs=obs))
+        report = tail_report(obs.requests, kind=REQ_RX, percentile=tail)
+        lines.extend([
+            f"### {scheme}",
+            "",
+            "```text",
+            render_tail_report(report),
+            "```",
+            "",
+        ])
+    return lines
+
+
+def run_report(out: Optional[str] = None,
+               only: Optional[Sequence[str]] = None,
+               tail: float = 99.0) -> int:
+    """Build and write the consolidated report; returns exit status."""
+    specs = select_figures(only)
+    figures: Dict[str, dict] = {}
+    started = time.time()
+    for spec in specs:
+        t0 = time.time()
+        figures[spec.name] = spec.build(QUICK_SCALE)
+        print(f"[report] {spec.name:<8} {spec.title:<50} "
+              f"{time.time() - t0:6.1f}s", file=sys.stderr)
+    record = build_record(mode=QUICK_SCALE.name, figures=figures,
+                          schemes=FIGURE_SCHEMES)
+
+    parts = [
+        render_markdown(record).rstrip(),
+        "",
+        "## Request latency tails",
+        "",
+        *_latency_table(record),
+        "",
+        "## Exposure (summed across series points)",
+        "",
+        *_exposure_table(record),
+        "",
+        f"## Tail attribution (p{tail:g}, {_ATTRIBUTION_CORES}-core RX, "
+        f"{_ATTRIBUTION_SIZE}B frames)",
+        "",
+        *_tail_attribution(tail),
+    ]
+
+    path = out or os.path.join(default_results_dir(), "REPORT.md")
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write("\n".join(parts).rstrip() + "\n")
+    print(f"[report] {len(specs)} figures in {time.time() - started:.1f}s")
+    print(f"[report] report : {path}")
+    return 0

@@ -9,6 +9,9 @@ Examples::
     python -m repro rr --scheme copy --size 64
     python -m repro memcached --cores 8
     python -m repro storage --scheme copy --block-size 262144
+    python -m repro trace --workload stream --cores 16 \\
+        --scheme identity+ --requests --tail p99 --perfetto trace.json
+    python -m repro report --out REPORT.md
 
 Every subcommand prints the same metrics the corresponding paper
 table/figure reports.  ``python -m repro bench`` runs the full figure
@@ -28,8 +31,14 @@ from repro.attacks.audit import audit_all, render_audit_exposure, \
     render_table1
 from repro.dma.registry import ALL_SCHEMES, PAPER_ALIASES, scheme_properties
 from repro.obs.context import Observability
+from repro.obs.requests import parse_percentile, tail_report
 from repro.stats.results import RunResult
-from repro.stats.timeline import render_observability_report
+from repro.stats.timeline import (
+    render_observability_report,
+    render_request_summary,
+    render_request_timeline,
+    render_tail_report,
+)
 from repro.workloads.memcached import MemcachedConfig, run_memcached
 from repro.workloads.netperf import (
     RRConfig,
@@ -104,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the run as a bench-record JSON "
                               "(same row schema as BENCH_*.json) to "
                               "PATH, or '-' for stdout")
+    tracing.add_argument("--perfetto", metavar="PATH", default=None,
+                         help="write a Chrome trace_event JSON of the "
+                              "run to PATH (load in ui.perfetto.dev or "
+                              "chrome://tracing)")
 
     sub.add_parser("schemes", help="list protection schemes and properties")
 
@@ -145,6 +158,44 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--block-size", type=int, default=4096)
     st.add_argument("--cores", type=int, default=1)
     st.add_argument("--ops", type=int, default=400, help="ops per core")
+
+    trace = sub.add_parser(
+        "trace", parents=[tracing],
+        help="request-scoped causal tracing: per-request timelines, "
+             "latency percentiles, tail attribution, Perfetto export")
+    trace.add_argument("--workload",
+                       choices=("stream", "rr", "memcached", "storage"),
+                       default="stream")
+    trace.add_argument("--scheme", type=_scheme, default="copy")
+    trace.add_argument("--direction", choices=("rx", "tx"), default="rx",
+                       help="stream direction (stream workload only)")
+    trace.add_argument("--size", type=int, default=16384,
+                       help="message size (stream/rr) or block size "
+                            "(storage) in bytes")
+    trace.add_argument("--cores", type=int, default=1)
+    trace.add_argument("--units", type=int, default=400,
+                       help="units/transactions/ops per core")
+    trace.add_argument("--requests", action="store_true",
+                       help="also print the causal timeline of the "
+                            "slowest retained requests")
+    trace.add_argument("--tail", type=parse_percentile, default=99.0,
+                       metavar="PCT",
+                       help="tail percentile for the critical-path "
+                            "report, e.g. p99, p99.9, 95 (default p99)")
+
+    report = sub.add_parser(
+        "report", help="one-shot consolidated report: quick bench + "
+                       "markdown summary with latency tails")
+    report.add_argument("--out", metavar="PATH", default=None,
+                        help="write the markdown report to PATH "
+                             "(default benchmarks/results/REPORT.md)")
+    report.add_argument("--only", action="append", metavar="FIG",
+                        help="limit the bench sweep to this figure "
+                             "(repeatable)")
+    report.add_argument("--tail", type=parse_percentile, default=99.0,
+                        metavar="PCT",
+                        help="tail percentile for the attribution "
+                             "section (default p99)")
 
     bench = sub.add_parser(
         "bench", help="unified figure runner: BENCH_*.json + report + "
@@ -201,18 +252,23 @@ def cmd_audit(scheme: str | None, exposure: bool = False) -> int:
     return 0
 
 
-def _make_obs(args) -> Observability | None:
-    """Build the capture context when ``--trace`` or ``--json`` was given.
+def _make_obs(args, always: bool = False) -> Observability | None:
+    """Build the capture context when an output flag was given.
 
-    ``--json`` captures too so the record carries span attribution; the
-    zero-overhead guarantee keeps the numbers identical either way.
+    ``--json``/``--perfetto`` capture too so their outputs carry span
+    and request attribution; the zero-overhead guarantee keeps the
+    numbers identical either way.  ``always`` forces capture even with
+    no output flags (the ``trace`` subcommand always records requests).
     """
     trace = getattr(args, "trace", None)
     json_out = getattr(args, "json", None)
-    if trace is None and json_out is None:
+    perfetto = getattr(args, "perfetto", None)
+    if not always and trace is None and json_out is None \
+            and perfetto is None:
         return None
     # Fail fast on unwritable paths — before the run, not after it.
-    for label, path in (("trace", trace), ("json", json_out)):
+    for label, path in (("trace", trace), ("json", json_out),
+                        ("perfetto", perfetto)):
         if path is None or path == "-":
             continue
         try:
@@ -247,6 +303,14 @@ def _finish_obs(obs: Observability | None, args,
         else:
             with open(json_out, "w") as fh:
                 fh.write(text)
+    perfetto = getattr(args, "perfetto", None)
+    if perfetto is not None:
+        from repro.obs.perfetto import write_perfetto
+
+        count = write_perfetto(obs, perfetto)
+        if not _json_quiet(args):
+            print(f"perfetto        : {count} events written to "
+                  f"{perfetto} (open in ui.perfetto.dev)")
     if args.trace is not None:
         count = obs.tracer.write_jsonl(args.trace)
         if not _json_quiet(args):
@@ -254,6 +318,47 @@ def _finish_obs(obs: Observability | None, args,
             print(render_observability_report(obs))
             print(f"trace           : {count} events written to "
                   f"{args.trace}")
+
+
+def cmd_trace(args) -> int:
+    """Run one workload under full capture; tell the request story."""
+    obs = _make_obs(args, always=True)
+    if args.workload == "stream":
+        result = run_tcp_stream(StreamConfig(
+            scheme=args.scheme, direction=args.direction,
+            message_size=args.size, cores=args.cores,
+            units_per_core=args.units,
+            warmup_units=max(20, args.units // 10), obs=obs))
+    elif args.workload == "rr":
+        result = run_tcp_rr(RRConfig(
+            scheme=args.scheme, message_size=args.size,
+            transactions=args.units,
+            warmup_transactions=max(10, args.units // 10), obs=obs))
+    elif args.workload == "memcached":
+        result = run_memcached(MemcachedConfig(
+            scheme=args.scheme, cores=args.cores,
+            transactions_per_core=args.units,
+            warmup_transactions=max(10, args.units // 10), obs=obs))
+    else:
+        result = run_storage(StorageConfig(
+            scheme=args.scheme, block_size=args.size,
+            cores=args.cores, ops_per_core=args.units,
+            warmup_ops=max(10, args.units // 10), obs=obs))
+    if not _json_quiet(args):
+        _print_result(result, show_latency=True, show_tps=True)
+        print()
+        print(render_request_summary(obs.requests))
+        print()
+        print(render_tail_report(tail_report(obs.requests,
+                                             percentile=args.tail)))
+        if args.requests:
+            slowest = sorted(obs.requests.retained(),
+                             key=lambda r: -r.latency)[:3]
+            for record in slowest:
+                print()
+                print(render_request_timeline(record))
+    _finish_obs(obs, args, result)
+    return 0
 
 
 def main(argv: Iterable[str] | None = None) -> int:
@@ -304,6 +409,12 @@ def main(argv: Iterable[str] | None = None) -> int:
             _print_result(result, show_tps=True)
         _finish_obs(obs, args, result)
         return 0
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "report":
+        from repro.bench.report import run_report
+
+        return run_report(out=args.out, only=args.only, tail=args.tail)
     if args.command == "bench":
         from repro.bench.runner import run_bench
 

@@ -43,6 +43,7 @@ from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
 from repro.iommu.page_table import Perm
 from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.obs.requests import MARK_COPIED
 from repro.obs.spans import SPAN_COPY
 from repro.obs.trace import EV_DMA_COPY
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_up
@@ -207,6 +208,7 @@ class ShadowDmaApi(DmaApi):
                                  nbytes=nbytes, remote=remote,
                                  cycles=cycles)
             self.obs.metrics.histogram("dma.copy_bytes").observe(nbytes)
+            self.obs.requests.mark(core, MARK_COPIED)
             self.obs.spans.end(core)
 
     # ------------------------------------------------------------------

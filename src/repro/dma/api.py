@@ -30,6 +30,7 @@ from repro.iommu.iommu import DmaPort
 from repro.iommu.page_table import Perm
 from repro.kalloc.slab import KBuffer
 from repro.obs.context import NULL_OBS
+from repro.obs.requests import MARK_MAPPED, MARK_UNMAPPED
 from repro.obs.spans import SPAN_DMA_MAP, SPAN_DMA_UNMAP
 from repro.obs.trace import EV_DMA_MAP, EV_DMA_UNMAP
 
@@ -162,6 +163,7 @@ class DmaApi(abc.ABC):
             self.obs.exposure.note_dma_map(core.now, self.name,
                                            self.domain_id, handle.iova,
                                            buf.size)
+            self.obs.requests.mark(core, MARK_MAPPED)
         return handle
 
     def dma_unmap(self, core: Core, handle: DmaHandle) -> None:
@@ -189,6 +191,7 @@ class DmaApi(abc.ABC):
             self.obs.exposure.note_dma_unmap(core.now, self.name,
                                              self.domain_id, handle.iova,
                                              handle.size)
+            self.obs.requests.mark(core, MARK_UNMAPPED)
 
     def dma_map_sg(self, core: Core, bufs: Sequence[KBuffer],
                    direction: DmaDirection) -> List[DmaHandle]:

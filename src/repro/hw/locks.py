@@ -89,6 +89,7 @@ class SpinLock:
                     f"lock.wait_cycles:{self.name}").observe(waited)
                 self.obs.tracer.emit(EV_LOCK_CONTEND, core.now, core.cid,
                                      lock=self.name, wait_cycles=waited)
+                self.obs.requests.note_lock_wait(core, self.name, waited)
             else:
                 self.obs.tracer.emit(EV_LOCK_ACQUIRE, core.now, core.cid,
                                      lock=self.name)

@@ -27,6 +27,7 @@ from repro.hw.cpu import CAT_INVALIDATE, Core
 from repro.hw.locks import NullLock, SharedResource, SpinLock
 from repro.iommu.iotlb import Iotlb
 from repro.obs.context import NULL_OBS, Observability
+from repro.obs.requests import MARK_INVALIDATED
 from repro.obs.spans import SPAN_IOTLB_INVALIDATE
 from repro.obs.trace import EV_INV_COMPLETE, EV_INV_FLUSH, EV_INV_SUBMIT
 from repro.sim.costmodel import CostModel
@@ -149,6 +150,7 @@ class InvalidationQueue:
                                  pages=npages, concurrency=concurrency)
             self.obs.tracer.emit(EV_INV_COMPLETE, done, core.cid,
                                  scope=scope, latency_cycles=observed)
+            self.obs.requests.mark(core, MARK_INVALIDATED)
             self.obs.spans.end(core)
 
     def _invalidate_locked(self, core: Core, domain_id: int,

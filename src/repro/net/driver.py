@@ -31,6 +31,7 @@ from repro.kalloc.slab import KBuffer, KernelAllocators
 from repro.net.nic import Nic
 from repro.net.packets import parse_frame
 from repro.net.ring import FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
+from repro.obs.requests import REQ_RX, REQ_TX
 from repro.obs.spans import (SPAN_DEVICE_ACCESS, SPAN_RX_PACKET,
                              SPAN_TX_CHUNK)
 from repro.obs.trace import EV_NET_RX, EV_NET_TX
@@ -85,6 +86,9 @@ class NicDriver:
         self._rx_buf_order = max(0, ((rx_buf_size + PAGE_SIZE - 1)
                                      // PAGE_SIZE - 1).bit_length())
         self.obs = machine.obs
+        #: The NIC shares the driver's observability context so device
+        #: interactions can stamp request marks (device_translated).
+        nic.obs = self.obs
         self.stats = DriverStats()
         self._rx_rings: Dict[int, DescriptorRing] = {}
         self._tx_rings: Dict[int, DescriptorRing] = {}
@@ -150,6 +154,9 @@ class NicDriver:
         driver are charged by the workload layer.
         """
         if self.obs.enabled:
+            self.obs.requests.begin(core, REQ_RX, qid=qid,
+                                    nbytes=len(frame))
+            self.nic.dma_core = core
             self.obs.spans.begin(SPAN_RX_PACKET, core)
             self.obs.spans.begin(SPAN_DEVICE_ACCESS, core)
         accepted = self.nic.receive_frame(qid, frame)
@@ -158,6 +165,7 @@ class NicDriver:
         if not accepted:
             if self.obs.enabled:
                 self.obs.spans.end(core)    # rx_packet (dropped frame)
+                self.obs.requests.end(core)
             return None
         reaped = self._rx_rings[qid].reap()
         if reaped is None:
@@ -181,6 +189,7 @@ class NicDriver:
         self._post_rx_buffer(core, qid)
         if self.obs.enabled:
             self.obs.spans.end(core)        # rx_packet
+            self.obs.requests.end(core)
         return parsed.payload_len
 
     # ------------------------------------------------------------------
@@ -269,6 +278,9 @@ class NicDriver:
         Returns the number of wire segments the NIC emitted.
         """
         if self.obs.enabled:
+            self.obs.requests.begin(core, REQ_TX, qid=qid,
+                                    nbytes=chunk_bytes)
+            self.nic.dma_core = core
             self.obs.spans.begin(SPAN_TX_CHUNK, core)
         node = core.numa_node
         buf = self.allocators.slabs[node].kmalloc(chunk_bytes, core)
@@ -283,4 +295,5 @@ class NicDriver:
         self.reap_tx(core, qid)
         if self.obs.enabled:
             self.obs.spans.end(core)        # tx_chunk
+            self.obs.requests.end(core)
         return segments

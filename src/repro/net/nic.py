@@ -19,6 +19,8 @@ from typing import Dict, List, Optional
 from repro.errors import SimulationError
 from repro.iommu.iommu import DmaPort
 from repro.net.ring import FLAG_DONE, FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
+from repro.obs.context import NULL_OBS
+from repro.obs.requests import MARK_DEVICE_TRANSLATED
 from repro.sim.units import ETH_MTU, TSO_MAX_BYTES
 
 
@@ -58,6 +60,11 @@ class Nic:
         self.tso = tso
         self.keep_frames = keep_frames
         self.stats = NicStats()
+        #: Observability context (the driver shares its own) and the OS
+        #: core whose request the current device interaction serves —
+        #: the NIC has no clock, so request marks borrow that core's.
+        self.obs = NULL_OBS
+        self.dma_core = None
         self._queues: Dict[int, _QueueState] = {
             q: _QueueState() for q in range(num_queues)
         }
@@ -99,6 +106,8 @@ class Nic:
             self.stats.rx_drops_too_big += 1
             return False
         self.port.dma_write(desc.addr, frame)
+        if self.obs.enabled and self.dma_core is not None:
+            self.obs.requests.mark(self.dma_core, MARK_DEVICE_TRANSLATED)
         ring.device_write_back(self.port, state.rx_next, Descriptor(
             addr=desc.addr, length=len(frame),
             flags=FLAG_DONE | FLAG_EOP))
@@ -134,6 +143,9 @@ class Nic:
                     f"exceeds NIC limit"
                 )
             gather.append(self.port.dma_read(desc.addr, desc.length))
+            if self.obs.enabled and self.dma_core is not None:
+                self.obs.requests.mark(self.dma_core,
+                                       MARK_DEVICE_TRANSLATED)
             gathered_bytes += desc.length
             ring.device_write_back(self.port, state.tx_next, Descriptor(
                 addr=desc.addr, length=desc.length,

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 
 from repro.obs.exposure import ExposureAccountant
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.requests import RequestRecorder
 from repro.obs.spans import SpanRecorder
 from repro.obs.trace import EV_PHASE, NullTracer, RingTracer
 
@@ -43,7 +44,8 @@ class Observability:
     def __init__(self, tracer=None, metrics: MetricsRegistry | None = None,
                  enabled: bool = True,
                  spans: SpanRecorder | None = None,
-                 exposure: ExposureAccountant | None = None):
+                 exposure: ExposureAccountant | None = None,
+                 requests: RequestRecorder | None = None):
         self.tracer = tracer if tracer is not None else NullTracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         #: Hierarchical cycle-attribution recorder (see repro.obs.spans).
@@ -52,10 +54,23 @@ class Observability:
         #: granularity excess, mapped surface, fault forensics.
         self.exposure = exposure if exposure is not None \
             else ExposureAccountant(metrics=self.metrics, spans=self.spans)
+        #: Request-scoped causal tracing (see repro.obs.requests):
+        #: per-request ids, stage timelines, tail-latency attribution.
+        self.requests = requests if requests is not None \
+            else RequestRecorder()
         #: Master switch instrumented hot paths guard on.  Disabled means
         #: neither events, metrics, spans, nor exposure are recorded.
         self.enabled = enabled and self.tracer.enabled
         self.phases: List[PhaseRecord] = []
+        if self.enabled:
+            # Wire the request recorder into the rest of the layer:
+            # spans feed it stages, the tracer stamps events with the
+            # active rid, and fault forensics can name in-flight rids.
+            self.spans.listener = self.requests
+            self.requests.tracer = self.tracer
+            if hasattr(self.tracer, "rid_of"):
+                self.tracer.rid_of = self.requests.current_rid
+            self.exposure.requests = self.requests
 
     # ------------------------------------------------------------------
     @classmethod

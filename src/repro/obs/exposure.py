@@ -125,6 +125,8 @@ class ExposureFault:
     last_unmap_t: Optional[int] = None
     #: Span paths open per core at fault time: ``(core_id, path)``.
     open_spans: Tuple[Tuple[int, Tuple[str, ...]], ...] = ()
+    #: Request ids in flight per core at fault time: ``(core_id, rid)``.
+    open_requests: Tuple[Tuple[int, int], ...] = ()
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -137,6 +139,10 @@ class ExposureFault:
             "open_spans": [
                 {"core": cid, "path": " -> ".join(path)}
                 for cid, path in self.open_spans
+            ],
+            "open_requests": [
+                {"core": cid, "rid": rid}
+                for cid, rid in self.open_requests
             ],
         }
 
@@ -214,6 +220,9 @@ class ExposureAccountant:
         self.metrics = metrics
         #: Optional SpanRecorder consulted for fault-span correlation.
         self.spans = spans
+        #: Optional RequestRecorder consulted for fault-request
+        #: correlation (wired by the Observability context).
+        self.requests = None
         self._domains: Dict[int, _DomainExposure] = {}
         self.faults: Deque[ExposureFault] = deque(maxlen=fault_capacity)
         self.faults_recorded = 0
@@ -366,11 +375,15 @@ class ExposureAccountant:
         open_spans: Tuple[Tuple[int, Tuple[str, ...]], ...] = ()
         if self.spans is not None:
             open_spans = tuple(sorted(self.spans.open_paths().items()))
+        open_requests: Tuple[Tuple[int, int], ...] = ()
+        if self.requests is not None:
+            open_requests = tuple(sorted(
+                self.requests.active_rids().items()))
         self.faults.append(ExposureFault(
             t=t, domain_id=domain_id, device_id=device_id, iova=iova,
             is_write=is_write, reason=reason, page_state=state,
             last_map_t=last_map_t, last_unmap_t=last_unmap_t,
-            open_spans=open_spans))
+            open_spans=open_spans, open_requests=open_requests))
         self.faults_recorded += 1
 
     @property

@@ -133,7 +133,7 @@ class SpanNode:
 class SpanRecorder:
     """Per-core open-span stacks feeding one shared attribution trie."""
 
-    __slots__ = ("root", "_stacks", "opened", "closed")
+    __slots__ = ("root", "_stacks", "opened", "closed", "listener")
 
     def __init__(self) -> None:
         self.root = SpanNode("run")
@@ -141,6 +141,10 @@ class SpanRecorder:
         self._stacks: Dict[int, List[Tuple[SpanNode, int]]] = {}
         self.opened = 0
         self.closed = 0
+        #: Optional observer with ``on_span_begin(cid, name, t)`` /
+        #: ``on_span_end(cid, name, opened_at, t)`` — how the request
+        #: recorder turns spans into per-request stages.
+        self.listener = None
 
     # ------------------------------------------------------------------
     def begin(self, name: str, core) -> None:
@@ -151,6 +155,8 @@ class SpanRecorder:
         parent = stack[-1][0] if stack else self.root
         stack.append((parent.child(name), core.now))
         self.opened += 1
+        if self.listener is not None:
+            self.listener.on_span_begin(core.cid, name, core.now)
 
     def end(self, core) -> None:
         """Close the innermost open span on ``core``.
@@ -165,6 +171,9 @@ class SpanRecorder:
         node.count += 1
         node.total_cycles += core.now - opened_at
         self.closed += 1
+        if self.listener is not None:
+            self.listener.on_span_end(core.cid, node.name, opened_at,
+                                      core.now)
 
     # ------------------------------------------------------------------
     @property

@@ -49,6 +49,8 @@ EV_NET_TX = "net.tx"                    # chunk posted for transmission
 EV_SCHED_STEP = "sched.step"            # scheduler dispatched one work unit
 EV_PHASE = "phase"                      # workload phase boundary
 EV_IOMMU_FAULT = "iommu.fault"          # DMA blocked by the IOMMU
+EV_REQ_BEGIN = "req.begin"              # request-scoped unit of work opened
+EV_REQ_END = "req.end"                  # request completed (latency attached)
 
 ALL_EVENT_KINDS = (
     EV_LOCK_ACQUIRE, EV_LOCK_CONTEND, EV_LOCK_RELEASE,
@@ -57,6 +59,7 @@ ALL_EVENT_KINDS = (
     EV_DMA_MAP, EV_DMA_UNMAP, EV_DMA_COPY,
     EV_NET_RX, EV_NET_TX,
     EV_SCHED_STEP, EV_PHASE, EV_IOMMU_FAULT,
+    EV_REQ_BEGIN, EV_REQ_END,
 )
 
 
@@ -118,9 +121,18 @@ class RingTracer:
         self.capacity = capacity
         self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
         self.emitted = 0
+        #: Optional ``cid -> rid`` resolver (``RequestRecorder.current_rid``)
+        #: wired by the Observability context: when a request is active on
+        #: the emitting core, events are stamped with its ``rid`` so the
+        #: whole trace is request-linkable.
+        self.rid_of = None
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, t: int, core: int, **data: object) -> None:
+        if self.rid_of is not None and "rid" not in data:
+            rid = self.rid_of(core)
+            if rid is not None:
+                data["rid"] = rid
         self._ring.append(TraceEvent(t=t, core=core, kind=kind, data=data))
         self.emitted += 1
 

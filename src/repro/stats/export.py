@@ -61,6 +61,16 @@ def result_to_row(result: RunResult) -> dict:
             exposure.get("peak_surface_bytes", 0)
         row["exposure_stale_accesses"] = exposure.get("stale_accesses", 0)
         row["exposure_faults"] = exposure.get("faults", 0)
+    requests = result.extras.get("requests")
+    if isinstance(requests, dict):
+        # Request-latency tail columns (see repro.obs.requests); the
+        # regression gate guards them with wider tolerances than the
+        # throughput means, since percentiles are noisier.
+        overall = requests.get("overall", {})
+        if overall.get("count"):
+            row["latency_p50_us"] = overall.get("p50_us")
+            row["latency_p99_us"] = overall.get("p99_us")
+            row["latency_p999_us"] = overall.get("p999_us")
     return row
 
 

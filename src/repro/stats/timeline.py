@@ -13,6 +13,7 @@ from typing import Iterable, List
 
 from repro.obs.context import Observability, PhaseRecord
 from repro.obs.metrics import CycleHistogram, MetricsRegistry
+from repro.obs.requests import RequestRecord, RequestRecorder
 from repro.obs.spans import SpanNode
 from repro.sim.units import cycles_to_us
 
@@ -172,6 +173,94 @@ def render_exposure_summary(exposure) -> str:
     return "\n".join(lines)
 
 
+def render_request_summary(recorder: RequestRecorder) -> str:
+    """Per-kind request counts and latency percentiles (with stages)."""
+    lines: List[str] = ["== requests =="]
+    summary = recorder.summary()
+    if not summary["completed"]:
+        lines.append("  (no completed requests)")
+        if summary["open"]:
+            lines.append(f"  open={summary['open']}")
+        return "\n".join(lines)
+    lines.append(f"  started={summary['started']} "
+                 f"completed={summary['completed']} "
+                 f"open={summary['open']}")
+    for kind, data in summary["kinds"].items():
+        us = data["latency_us"]
+        lines.append(
+            f"  {kind:<10} n={data['count']:>7}  "
+            f"p50={us['p50']:>9.3f}us p90={us['p90']:>9.3f}us "
+            f"p99={us['p99']:>9.3f}us p999={us['p999']:>9.3f}us "
+            f"max={us['max']:>9.3f}us")
+        total_stage = sum(data["stages"].values()) or 1
+        top = list(data["stages"].items())[:4]
+        if top:
+            detail = ", ".join(f"{name}={cycles / total_stage:.0%}"
+                               for name, cycles in top)
+            lines.append(f"    stages: {detail}")
+        if data["locks"]:
+            locks = ", ".join(f"{name}={cycles_to_us(cycles):.1f}us"
+                              for name, cycles
+                              in list(data["locks"].items())[:3])
+            lines.append(f"    lock waits: {locks}")
+    return "\n".join(lines)
+
+
+def render_tail_report(report) -> str:
+    """The critical-path analyzer's verdict, human-readable."""
+    lines: List[str] = ["== tail latency =="]
+    if not report:
+        lines.append("  n/a (no completed requests)")
+        return "\n".join(lines)
+    kind = report["kind"] or "all"
+    lines.append(
+        f"  p{report['percentile']:g} of {kind} requests: "
+        f">= {report['threshold_us']:.3f}us "
+        f"({report['tail_count']} tail / {report['completed']} completed)")
+    dominant = report["dominant_stage"]
+    if dominant is None:
+        lines.append("  dominant stage: n/a (no instrumented stages)")
+    else:
+        share = report["tail_profile"].get(dominant, 0.0)
+        lines.append(f"  dominant stage: {dominant} "
+                     f"({share:.0%} of tail latency)")
+    protection = report["dominant_protection_stage"]
+    if protection is not None and protection != dominant:
+        share = report["tail_profile"].get(protection, 0.0)
+        lines.append(f"  dominant protection stage: {protection} "
+                     f"({share:.0%})")
+    diffs = [(stage, delta) for stage, delta
+             in report["profile_diff"].items() if abs(delta) >= 0.005]
+    if diffs:
+        detail = ", ".join(f"{stage} {delta:+.1%}"
+                           for stage, delta in diffs[:4])
+        lines.append(f"  tail vs median: {detail}")
+    for exemplar in report["exemplars"][:1]:
+        lines.append(
+            f"  slowest: {exemplar['kind']} #{exemplar['rid']} on "
+            f"core {exemplar['core']} — {exemplar['latency_us']:.3f}us")
+    return "\n".join(lines)
+
+
+def render_request_timeline(record: RequestRecord) -> str:
+    """One request's causal timeline: stages, marks, lock waits."""
+    lines = [
+        f"request #{record.rid} ({record.kind}) core={record.core} "
+        f"latency={cycles_to_us(record.latency):.3f}us"
+    ]
+    for name, start, end, depth in record.segments:
+        indent = "  " * depth
+        lines.append(
+            f"  +{start - record.start:>8}  {indent}{name:<20} "
+            f"{cycles_to_us(end - start):>9.3f}us")
+    for mark, t in record.marks:
+        lines.append(f"  +{t - record.start:>8}  * {mark}")
+    for lock, cycles in record.locks.items():
+        lines.append(f"  lock {lock}: waited "
+                     f"{cycles_to_us(cycles):.3f}us")
+    return "\n".join(lines)
+
+
 def render_observability_report(obs: Observability) -> str:
     """Trace summary + phase table + span tree + metrics + exposure."""
     sections = [
@@ -182,4 +271,6 @@ def render_observability_report(obs: Observability) -> str:
         sections.append(render_span_tree(obs.spans.tree()))
     sections.append(render_metrics_summary(obs.metrics))
     sections.append(render_exposure_summary(obs.exposure))
+    if obs.requests.completed:
+        sections.append(render_request_summary(obs.requests))
     return "\n".join(sections)

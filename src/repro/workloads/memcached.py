@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.errors import ConfigurationError
 from repro.hw.cpu import CAT_COPY_USER, CAT_OTHER, Core
 from repro.obs.context import Observability
+from repro.obs.requests import REQ_MEMCACHED
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, GeneratorTask, Scheduler
 from repro.sim.units import CPU_FREQ_HZ
@@ -146,6 +147,11 @@ def run_memcached(cfg: MemcachedConfig) -> RunResult:
             key = key_space[state.rng.randrange(256 if is_get else cfg.keys)]
             # Request arrives through the RX DMA path.
             req = get_req if is_get else set_req
+            if obs.enabled:
+                # One memcached request per transaction; the driver's
+                # rx/tx requests fold into it as stages.
+                obs.requests.begin(c, REQ_MEMCACHED,
+                                   op="get" if is_get else "set")
             if system.driver.receive_one(c, qid, req) is None:
                 raise ConfigurationError("memcached request dropped")
             yield
@@ -162,6 +168,8 @@ def run_memcached(cfg: MemcachedConfig) -> RunResult:
             c.charge(cost.syscall_cycles, CAT_OTHER)          # send
             c.charge(cost.copy_to_user_cycles(resp_bytes), CAT_COPY_USER)
             system.driver.transmit_one(c, qid, resp_bytes)
+            if obs.enabled:
+                obs.requests.end(c)
             state.units += 1
             if measuring["on"]:
                 totals["units"] += 1

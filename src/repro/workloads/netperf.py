@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.hw.cpu import CAT_COPY_USER, CAT_OTHER, Core, merge_breakdowns
 from repro.hw.locks import SharedResource
 from repro.obs.context import Observability
+from repro.obs.requests import REQ_RR
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, CoreTask, GeneratorTask, Scheduler
 from repro.sim.units import (
@@ -119,6 +120,7 @@ def _collect(system: System, cfg_scheme: str, workload: str,
     if obs.enabled:
         result.extras["metrics"] = obs.metrics.snapshot()
         result.extras["exposure"] = obs.exposure.summary()
+        result.extras["requests"] = obs.requests.summary()
     return result
 
 
@@ -411,11 +413,17 @@ def run_tcp_rr(cfg: RRConfig) -> RunResult:
     measuring = False
     payload_bytes = 0
 
+    obs_ctx = machine.obs
+
     def transaction() -> None:
         nonlocal payload_bytes
         t0 = core.now
         # Request propagates: NIC/PCIe latency + serialization.
         core.advance_to(t0 + cost.wire_latency_cycles + wire_cycles)
+        if obs_ctx.enabled:
+            # One rr request spans the server-side turnaround; the
+            # driver's rx/tx requests fold into it as stages.
+            obs_ctx.requests.begin(core, REQ_RR, message_size=size)
         for payload in aggr_payloads:
             if system.driver.receive_one(core, 0, frames[payload]) is None:
                 raise ConfigurationError("RR frame dropped")
@@ -430,6 +438,10 @@ def run_tcp_rr(cfg: RRConfig) -> RunResult:
         core.charge(cost.tcp_tx_per_page_cycles * npages_per_msg, CAT_OTHER)
         for chunk in _tx_chunks(size):
             system.driver.transmit_one(core, 0, chunk)
+        if obs_ctx.enabled:
+            # Ends when the response hits the wire; the client-side
+            # turnaround below is not the server's latency.
+            obs_ctx.requests.end(core)
         # Response propagates to the client, which turns it around.
         rtt_end = (core.now + cost.wire_latency_cycles + wire_cycles
                    + client_cpu + cost.wakeup_cycles)

@@ -29,6 +29,7 @@ from repro.hw.machine import Machine
 from repro.iommu.iommu import Iommu
 from repro.kalloc.slab import KBuffer, KernelAllocators
 from repro.obs.context import Observability
+from repro.obs.requests import REQ_STORAGE
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, GeneratorTask, Scheduler
 from repro.sim.units import CPU_FREQ_HZ, PAGE_SIZE, us_to_cycles
@@ -114,6 +115,10 @@ def run_storage(cfg: StorageConfig) -> RunResult:
             elif next_arrival < core.now - 64 * interval:
                 next_arrival = core.now - 64 * interval
             is_read = rng.random() < cfg.read_fraction
+            if obs.enabled:
+                obs.requests.begin(core, REQ_STORAGE,
+                                   op="read" if is_read else "write",
+                                   block_size=cfg.block_size)
             core.charge(_BLOCK_LAYER_CYCLES, CAT_OTHER)
             if is_read:
                 handle = api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
@@ -126,6 +131,8 @@ def run_storage(cfg: StorageConfig) -> RunResult:
                 port.dma_read(handle.iova, cfg.block_size)
                 yield
                 api.dma_unmap(core, handle)
+            if obs.enabled:
+                obs.requests.end(core)
             done += 1
             if measuring["on"]:
                 totals["units"] += 1
@@ -179,4 +186,5 @@ def run_storage(cfg: StorageConfig) -> RunResult:
     if obs.enabled:
         result.extras["metrics"] = obs.metrics.snapshot()
         result.extras["exposure"] = obs.exposure.summary()
+        result.extras["requests"] = obs.requests.summary()
     return result

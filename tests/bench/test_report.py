@@ -1,0 +1,34 @@
+"""``python -m repro report``: the one-shot consolidated markdown."""
+
+from repro.bench.report import run_report
+
+
+def test_run_report_writes_consolidated_markdown(tmp_path, capsys):
+    out = tmp_path / "REPORT.md"
+    code = run_report(out=str(out), only=["fig03"], tail=99.0)
+    assert code == 0
+    text = out.read_text()
+    # The standard bench-record sections...
+    assert "# Benchmark record" in text
+    assert "## fig03" in text
+    # ...plus the request-latency table with all three tail columns...
+    assert "## Request latency tails" in text
+    assert "p99.9 [us]" in text
+    assert "| fig03 | copy | tcp_stream_rx |" in text
+    # ...plus the exposure totals...
+    assert "## Exposure" in text
+    assert "| identity-deferred |" in text
+    # ...plus the strict-vs-copy attribution contrast.
+    assert "## Tail attribution" in text
+    assert "### identity-strict" in text
+    assert "### copy" in text
+    assert "dominant stage: lock_wait" in text
+    stdout = capsys.readouterr().out
+    assert str(out) in stdout
+
+
+def test_run_report_rejects_unknown_figure(tmp_path):
+    import pytest
+
+    with pytest.raises(SystemExit):
+        run_report(out=str(tmp_path / "r.md"), only=["nope"])

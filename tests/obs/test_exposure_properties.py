@@ -1,0 +1,153 @@
+"""Property tests: exposure accounting under adversarial interleavings.
+
+The accountant sees map/unmap/invalidate/dma_map/dma_unmap events in
+whatever order two racing cores produce them — including the awkward
+ones (invalidation completing before the unmap that would have made a
+page stale, double invalidations, dma_unmap with no matching dma_map).
+Whatever the interleaving:
+
+* exposure integrals never go negative and never decrease;
+* ``dedicated`` pages (shadow pool, descriptor rings) contribute
+  neither stale-window nor granularity-excess byte·cycles;
+* a global invalidation leaves no stale page behind.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.exposure import (
+    KIND_DEDICATED,
+    KIND_OS,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    ExposureAccountant,
+)
+
+_DOMAIN = 1
+_DEVICE = 0x10
+
+_OPS = ("map", "unmap", "dma_map", "dma_unmap", "inv_pages", "inv_all")
+
+
+@st.composite
+def event_soups(draw):
+    """Arbitrary event sequences with monotonic timestamps."""
+    n = draw(st.integers(min_value=5, max_value=60))
+    events = []
+    t = 0
+    for _ in range(n):
+        t += draw(st.integers(min_value=1, max_value=100))
+        events.append((
+            draw(st.sampled_from(_OPS)),
+            t,
+            draw(st.integers(min_value=0, max_value=7)),   # page
+            draw(st.booleans()),                           # cached?
+        ))
+    return events
+
+
+def _apply(acct, kind, op, t, page, cached):
+    iova = page << PAGE_SHIFT
+    if op == "map":
+        acct.note_map_range(t, _DOMAIN, _DEVICE, iova, PAGE_SIZE,
+                            kind=kind)
+    elif op == "unmap":
+        acct.note_unmap_range(t, _DOMAIN, iova, PAGE_SIZE,
+                              cached_pages={page} if cached else set())
+    elif op == "dma_map":
+        # Sub-page mapping: leaves page-rounding excess on OS pages.
+        acct.note_dma_map(t, "test", _DOMAIN, iova + 128, 512)
+    elif op == "dma_unmap":
+        acct.note_dma_unmap(t, "test", _DOMAIN, iova + 128, 512)
+    elif op == "inv_pages":
+        acct.note_invalidate_pages(t, _DOMAIN, page, 1)
+    elif op == "inv_all":
+        acct.note_invalidate_all(t)
+
+
+@given(events=event_soups())
+@settings(max_examples=150, deadline=None)
+def test_exposure_integrals_never_negative_and_monotonic(events):
+    acct = ExposureAccountant()
+    prev_stale = prev_excess = 0
+    for op, t, page, cached in events:
+        _apply(acct, KIND_OS, op, t, page, cached)
+        summary = acct.summary()
+        for key in ("stale_byte_cycles", "stale_windows",
+                    "stale_peak_window_cycles",
+                    "granularity_excess_byte_cycles",
+                    "peak_excess_bytes", "peak_surface_bytes",
+                    "stale_open_pages", "live_mappings"):
+            assert summary[key] >= 0, (key, op, t, page)
+        # The integrals only ever accumulate.
+        assert summary["stale_byte_cycles"] >= prev_stale
+        assert summary["granularity_excess_byte_cycles"] >= prev_excess
+        prev_stale = summary["stale_byte_cycles"]
+        prev_excess = summary["granularity_excess_byte_cycles"]
+
+
+@given(events=event_soups())
+@settings(max_examples=150, deadline=None)
+def test_dedicated_pages_contribute_no_exposure(events):
+    acct = ExposureAccountant()
+    for op, t, page, cached in events:
+        _apply(acct, KIND_DEDICATED, op, t, page, cached)
+    summary = acct.summary()
+    assert summary["stale_byte_cycles"] == 0
+    assert summary["granularity_excess_byte_cycles"] == 0
+    assert summary["peak_excess_bytes"] == 0
+
+
+@st.composite
+def two_core_interleavings(draw):
+    """Two cores' page lifecycles, merged in an arbitrary interleave.
+
+    Core 0 works OS pages 0..2, core 1 dedicated pages 4..6; each page
+    runs the full map → dma_map → dma_unmap → unmap(cached) →
+    invalidate lifecycle in order, but the merge order across cores —
+    and thus whether core 1's invalidation lands between core 0's unmap
+    and invalidation — is up to hypothesis.
+    """
+    scripts = []
+    for core, (base, kind) in enumerate(((0, KIND_OS),
+                                         (4, KIND_DEDICATED))):
+        npages = draw(st.integers(min_value=1, max_value=3))
+        script = []
+        for page in range(base, base + npages):
+            script.extend([("map", page, kind), ("dma_map", page, kind),
+                           ("dma_unmap", page, kind),
+                           ("unmap", page, kind),
+                           ("inv_pages", page, kind)])
+        scripts.append(script)
+    merged = []
+    pending = [list(reversed(s)) for s in scripts]
+    while any(pending):
+        choices = [i for i, s in enumerate(pending) if s]
+        pick = draw(st.sampled_from(choices))
+        merged.append(pending[pick].pop())
+    return merged
+
+
+@given(merged=two_core_interleavings())
+@settings(max_examples=150, deadline=None)
+def test_interleaved_lifecycles_window_accounting_is_exact(merged):
+    acct = ExposureAccountant()
+    t = 0
+    expected = 0
+    released_at = {}
+    for op, page, kind in merged:
+        t += 10
+        _apply(acct, kind, op, t, page, cached=True)
+        if op == "dma_unmap":
+            released_at[page] = t
+        elif op == "inv_pages" and kind == KIND_OS:
+            # The page went stale at its unmap with release stamped at
+            # dma_unmap's return; the window closes here.
+            expected += (t - released_at[page]) * PAGE_SIZE
+    summary = acct.summary()
+    assert summary["stale_byte_cycles"] == expected
+    assert summary["stale_open_pages"] == 0
+    assert summary["live_mappings"] == 0
+    # A trailing global flush is idempotent: nothing left to close.
+    acct.note_invalidate_all(t + 1000)
+    assert acct.summary()["stale_byte_cycles"] == expected

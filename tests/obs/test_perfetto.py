@@ -1,0 +1,101 @@
+"""Perfetto export: valid Chrome ``trace_event`` JSON that round-trips.
+
+The schema check is structural — every event must be a well-formed
+trace_event object for its phase — plus the flow invariant the viewer
+relies on: each request's ``s``/``t``/``f`` events share one flow id
+(the rid), appear in causal order, and bracket exactly one begin and
+one end.
+"""
+
+import json
+
+from repro.obs.context import Observability
+from repro.obs.perfetto import PHASE_TID, perfetto_trace, write_perfetto
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+_VALID_PHASES = {"M", "X", "s", "t", "f", "C"}
+
+
+def _traced_obs():
+    obs = Observability.capture(trace_capacity=256)
+    run_tcp_stream_rx(StreamConfig(
+        scheme="identity-strict", direction="rx", message_size=16384,
+        cores=2, units_per_core=40, warmup_units=10, obs=obs))
+    return obs
+
+
+def test_every_event_is_a_valid_trace_event_object():
+    obs = _traced_obs()
+    trace = perfetto_trace(obs)
+    events = trace["traceEvents"]
+    assert events, "a traced run must export events"
+    for ev in events:
+        assert ev["ph"] in _VALID_PHASES
+        assert ev["pid"] == 0
+        assert isinstance(ev["tid"], int)
+        assert isinstance(ev["name"], str) and ev["name"]
+        if ev["ph"] == "X":
+            assert isinstance(ev["ts"], (int, float)) and ev["ts"] >= 0
+            assert ev["dur"] > 0
+        elif ev["ph"] in ("s", "t", "f"):
+            assert isinstance(ev["id"], int)
+            assert ev["ts"] >= 0
+        elif ev["ph"] == "C":
+            assert "value" in ev["args"]
+    # Thread-name metadata exists for every core that carried a slice.
+    named = {ev["tid"] for ev in events
+             if ev["ph"] == "M" and ev["name"] == "thread_name"}
+    sliced = {ev["tid"] for ev in events
+              if ev["ph"] == "X" and ev["tid"] != PHASE_TID}
+    assert sliced <= named | {PHASE_TID}
+    assert trace["otherData"]["requests_exported"] > 0
+
+
+def test_flow_ids_are_consistent_per_request():
+    obs = _traced_obs()
+    events = perfetto_trace(obs)["traceEvents"]
+    flows = {}
+    for ev in events:
+        if ev["ph"] in ("s", "t", "f"):
+            flows.setdefault(ev["id"], []).append(ev)
+    assert flows
+    request_slices = {ev["args"]["rid"]: ev for ev in events
+                      if ev["ph"] == "X" and ev.get("cat") == "request"}
+    for rid, steps in flows.items():
+        phases = [ev["ph"] for ev in steps]
+        assert phases.count("s") == 1
+        assert phases.count("f") == 1
+        assert phases[0] == "s" and phases[-1] == "f"
+        start, finish = steps[0], steps[-1]
+        assert all(start["ts"] <= ev["ts"] <= finish["ts"]
+                   for ev in steps)
+        # The flow id IS the request id of a retained request slice.
+        assert rid in request_slices
+        slice_ev = request_slices[rid]
+        assert slice_ev["tid"] == start["tid"]
+
+
+def test_write_perfetto_round_trips_through_json(tmp_path):
+    obs = _traced_obs()
+    path = tmp_path / "trace.json"
+    count = write_perfetto(obs, str(path))
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == count
+    assert loaded["traceEvents"] == perfetto_trace(obs)["traceEvents"]
+    assert loaded["otherData"]["source"] == "repro.obs.perfetto"
+
+
+def test_max_requests_caps_the_export():
+    obs = _traced_obs()
+    capped = perfetto_trace(obs, max_requests=3)
+    assert capped["otherData"]["requests_exported"] == 3
+    rids = {ev["args"]["rid"] for ev in capped["traceEvents"]
+            if ev["ph"] == "X" and ev.get("cat") == "request"}
+    assert len(rids) == 3
+
+
+def test_empty_run_exports_only_metadata():
+    obs = Observability.capture(trace_capacity=16)
+    trace = perfetto_trace(obs)
+    assert trace["otherData"]["requests_exported"] == 0
+    assert all(ev["ph"] in ("M", "C") for ev in trace["traceEvents"])

@@ -99,6 +99,41 @@ def test_exposure_null_run_records_nothing():
     assert summary["faults"] == 0
 
 
+def test_request_traced_run_is_cycle_identical():
+    """Request ids, stage capture, marks, and lock-wait attribution all
+    record in host memory only — a request-traced 16-core contended run
+    reproduces the bare run's cycles exactly."""
+    cfg = dict(scheme="identity-strict", direction="rx", cores=16,
+               message_size=1448, units_per_core=40, warmup_units=10)
+    bare = run_tcp_stream_rx(StreamConfig(**cfg))
+    obs = Observability.capture()
+    traced = run_tcp_stream_rx(StreamConfig(**cfg, obs=obs))
+    assert traced.wall_cycles == bare.wall_cycles
+    assert traced.busy_cycles == bare.busy_cycles
+    assert traced.breakdown_cycles == bare.breakdown_cycles
+    assert traced.units == bare.units
+    # The recorder actually recorded: every measured frame is a request
+    # with a fully attributed stage profile.
+    assert obs.requests.completed > 0
+    assert obs.requests.open_requests == 0
+    record = obs.requests.retained()[-1]
+    assert sum(record.stages.values()) == record.latency
+    assert record.locks.get("qi-lock", 0) > 0
+    # The latency columns ride in extras without touching the results.
+    assert traced.extras["requests"]["overall"]["count"] > 0
+    assert "requests" not in bare.extras
+
+
+def test_request_null_run_records_nothing():
+    """With the null context no request begins — the write sites are
+    behind the same ``obs.enabled`` guard as everything else."""
+    null_obs = Observability(tracer=NullTracer())
+    run_tcp_rr(RRConfig(**_RR, obs=null_obs))
+    assert null_obs.requests.started == 0
+    assert null_obs.requests.completed == 0
+    assert null_obs.requests.open_requests == 0
+
+
 def test_span_instrumented_run_is_byte_identical():
     """The span begin/end sites are behind the same ``obs.enabled``
     guard as the tracer; a NullTracer run records no spans and stays

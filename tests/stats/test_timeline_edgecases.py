@@ -1,0 +1,117 @@
+"""Renderers must degrade to "n/a"-style rows on empty runs — never
+raise on zero totals, empty trees, or recorders that saw nothing."""
+
+from repro.obs.context import Observability
+from repro.obs.exposure import ExposureAccountant
+from repro.obs.metrics import CycleHistogram, MetricsRegistry
+from repro.obs.requests import RequestRecord, RequestRecorder, tail_report
+from repro.obs.spans import SpanNode, SpanRecorder
+from repro.stats.timeline import (
+    render_exposure_summary,
+    render_histogram,
+    render_metrics_summary,
+    render_observability_report,
+    render_phase_table,
+    render_request_summary,
+    render_request_timeline,
+    render_span_tree,
+    render_tail_report,
+    render_trace_summary,
+)
+
+
+def test_render_span_tree_empty_root_says_so():
+    out = render_span_tree(SpanRecorder().tree())
+    assert "(no spans recorded)" in out
+
+
+def test_render_span_tree_zero_cycle_children_no_division_error():
+    root = SpanNode("run")
+    child = root.child("step")
+    child.count = 3                       # opened, but zero cycles
+    out = render_span_tree(root)
+    assert "step" in out
+    assert "0.0%" in out
+
+
+def test_render_exposure_summary_without_domains():
+    out = render_exposure_summary(ExposureAccountant())
+    assert "(no IOMMU domain observed)" in out
+
+
+def test_render_request_summary_empty_recorder():
+    out = render_request_summary(RequestRecorder())
+    assert "(no completed requests)" in out
+
+
+def test_render_request_summary_open_but_unfinished_request():
+    class FakeCore:
+        cid, now = 0, 0
+
+    rec = RequestRecorder()
+    rec.begin(FakeCore(), "rx")
+    out = render_request_summary(rec)
+    assert "(no completed requests)" in out
+    assert "open=1" in out
+
+
+def test_render_request_summary_zero_stage_cycles_no_division_error():
+    class FakeCore:
+        cid, now = 0, 0
+
+    rec = RequestRecorder()
+    core = FakeCore()
+    rec.begin(core, "rx")
+    rec.end(core)                         # zero-latency, zero stages
+    out = render_request_summary(rec)
+    assert "rx" in out
+
+
+def test_render_tail_report_handles_none():
+    assert "n/a" in render_tail_report(None)
+    assert "n/a" in render_tail_report(tail_report(RequestRecorder()))
+
+
+def test_render_tail_report_without_instrumented_stages():
+    class FakeCore:
+        def __init__(self):
+            self.cid, self.now = 0, 0
+
+    rec = RequestRecorder()
+    core = FakeCore()
+    for _ in range(4):
+        rec.begin(core, "rx")
+        core.now += 10                    # latency, but no spans at all
+        rec.end(core)
+    out = render_tail_report(tail_report(rec))
+    assert "dominant stage: n/a" in out
+
+
+def test_render_request_timeline_bare_record():
+    record = RequestRecord(rid=1, kind="rx", core=0, start=0, end=0,
+                           stages={}, segments=(), marks=(), locks={},
+                           meta={})
+    out = render_request_timeline(record)
+    assert "request #1" in out
+    assert "0.000us" in out
+
+
+def test_render_histogram_and_metrics_empty():
+    assert "(no observations)" in render_histogram(CycleHistogram("h"))
+    assert "(no metrics recorded)" in \
+        render_metrics_summary(MetricsRegistry())
+
+
+def test_render_trace_and_phases_empty():
+    obs = Observability.capture(trace_capacity=4)
+    assert "(no events)" in render_trace_summary(obs.tracer)
+    assert "(no phases recorded)" in render_phase_table(obs.phases)
+
+
+def test_render_observability_report_on_fresh_capture_context():
+    out = render_observability_report(Observability.capture())
+    for section in ("== trace ==", "== phases ==", "== metrics ==",
+                    "== exposure =="):
+        assert section in out
+    # No requests completed: the request section stays out entirely.
+    assert "== requests ==" not in out

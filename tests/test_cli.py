@@ -157,6 +157,61 @@ def test_bench_parser_accepts_gate_flags():
         build_parser().parse_args(["bench", "--quick", "--full"])
 
 
+def test_bench_unknown_figure_fails_fast_with_choices(capsys):
+    """``bench --only <typo>`` must die before running anything, and
+    the error must name every valid figure."""
+    from repro.bench.runner import FIGURE_NAMES
+
+    with pytest.raises(SystemExit) as err:
+        main(["bench", "--quick", "--only", "fig99"])
+    message = str(err.value)
+    assert "unknown figure" in message
+    assert "fig99" in message
+    for name in FIGURE_NAMES:
+        assert name in message
+
+
+def test_trace_prints_request_story(capsys, tmp_path):
+    perfetto_path = tmp_path / "trace.json"
+    code, out = run_cli(capsys, "trace", "--workload", "stream",
+                        "--scheme", "identity+", "--cores", "2",
+                        "--units", "40", "--requests",
+                        "--tail", "p99",
+                        "--perfetto", str(perfetto_path))
+    assert code == 0
+    assert "== requests ==" in out
+    assert "== tail latency ==" in out
+    assert "dominant stage:" in out
+    assert "request #" in out             # --requests timelines
+    assert "lock_wait" in out
+    trace = json.loads(perfetto_path.read_text())
+    assert trace["traceEvents"]
+    assert trace["otherData"]["requests_exported"] > 0
+
+
+def test_trace_storage_workload(capsys):
+    code, out = run_cli(capsys, "trace", "--workload", "storage",
+                        "--scheme", "copy", "--size", "4096",
+                        "--units", "50")
+    assert code == 0
+    assert "storage" in out
+    assert "== tail latency ==" in out
+
+
+def test_trace_rejects_bad_percentile():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", "--tail", "p200"])
+
+
+def test_report_parser_flags():
+    args = build_parser().parse_args(
+        ["report", "--only", "fig03", "--out", "/tmp/r.md",
+         "--tail", "p99.9"])
+    assert args.only == ["fig03"]
+    assert args.out == "/tmp/r.md"
+    assert args.tail == 99.9
+
+
 def test_unknown_scheme_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["stream", "--scheme", "bogus"])

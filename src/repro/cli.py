@@ -30,6 +30,19 @@ from typing import Iterable, Sequence
 from repro.attacks.audit import audit_all, render_audit_exposure, \
     render_table1
 from repro.dma.registry import ALL_SCHEMES, PAPER_ALIASES, scheme_properties
+from repro.errors import (
+    AllocationError,
+    ConfigurationError,
+    DmaApiError,
+    IommuFault,
+    IovaExhaustedError,
+    KallocError,
+    MemoryAccessError,
+    PoolExhaustedError,
+    ReproError,
+    SecurityViolation,
+    SimulationError,
+)
 from repro.obs.context import Observability
 from repro.obs.requests import parse_percentile, tail_report
 from repro.stats.results import RunResult
@@ -47,6 +60,31 @@ from repro.workloads.netperf import (
     run_tcp_stream,
 )
 from repro.workloads.storage import StorageConfig, run_storage
+
+
+#: ReproError subclasses mapped to distinct exit codes, most specific
+#: first (the first isinstance match wins).  Scripts and CI can branch
+#: on the failure kind without parsing stderr; 1 is the generic fallback.
+_EXIT_CODES: Sequence[tuple[type, int]] = (
+    (ConfigurationError, 2),
+    (IovaExhaustedError, 3),
+    (PoolExhaustedError, 4),
+    (KallocError, 5),
+    (AllocationError, 6),
+    (MemoryAccessError, 7),
+    (IommuFault, 8),
+    (DmaApiError, 9),
+    (SecurityViolation, 10),
+    (SimulationError, 12),
+    (ReproError, 1),
+)
+
+
+def exit_code_for(exc: ReproError) -> int:
+    for kind, code in _EXIT_CODES:
+        if isinstance(exc, kind):
+            return code
+    return 1
 
 
 def _print_result(result: RunResult, *, show_latency: bool = False,
@@ -182,6 +220,34 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="tail percentile for the critical-path "
                             "report, e.g. p99, p99.9, 95 (default p99)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="deterministic fault-injection soak: run schemes under a "
+             "fault mix, audit for leaks, print a degradation report")
+    chaos.add_argument("--seed", type=int, action="append", default=None,
+                       metavar="N",
+                       help="fault-plan seed (repeatable; default 1). "
+                            "Same seed + same plan => identical trace")
+    chaos.add_argument("--mix", default="mixed",
+                       choices=("none", "resource", "invalidation",
+                                "device", "mixed", "all"),
+                       help="named fault mix (default mixed); 'all' runs "
+                            "every mix, 'none' only the baselines")
+    chaos.add_argument("--plan", metavar="SPEC", default=None,
+                       help="explicit plan instead of --mix, e.g. "
+                            "'pool.grow:rate=0.05,inv.stall:at=3|7'")
+    chaos.add_argument("--schemes", metavar="LIST", default=None,
+                       help="comma-separated schemes (default: all)")
+    chaos.add_argument("--cores", type=_positive_int, default=1)
+    chaos.add_argument("--units", type=_positive_int, default=120,
+                       help="traffic units (RX frame + TX chunk each) "
+                            "per run (default 120)")
+    chaos.add_argument("--report", metavar="PATH", default=None,
+                       help="also write the degradation report to PATH")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="write machine-readable soak rows to PATH, "
+                            "or '-' for stdout")
 
     report = sub.add_parser(
         "report", help="one-shot consolidated report: quick bench + "
@@ -361,9 +427,82 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run the chaos soak matrix; non-zero when an invariant breaks."""
+    from repro.faults.plan import FaultPlan
+    from repro.faults.soak import (MIXES, SoakRow, mix_plan,
+                                   render_soak_report, run_chaos,
+                                   soak_matrix)
+
+    seeds = tuple(args.seed) if args.seed else (1,)
+    if args.schemes is not None:
+        schemes = tuple(_scheme(s.strip())
+                        for s in args.schemes.split(",") if s.strip())
+        if not schemes:
+            raise ConfigurationError(f"empty scheme list {args.schemes!r}")
+    else:
+        schemes = ALL_SCHEMES
+    if args.plan is not None:
+        rows = []
+        for scheme in schemes:
+            for seed in seeds:
+                base = run_chaos(scheme, FaultPlan(seed=seed),
+                                 cores=args.cores, units=args.units)
+                res = run_chaos(scheme, FaultPlan.parse(args.plan,
+                                                        seed=seed),
+                                cores=args.cores, units=args.units)
+                rows.append(SoakRow(result=res, mix="custom",
+                                    baseline_goodput=base.goodput))
+    else:
+        mixes = (tuple(MIXES) if args.mix == "all"
+                 else () if args.mix == "none" else (args.mix,))
+        rows = soak_matrix(schemes, mixes, seeds, cores=args.cores,
+                           units=args.units)
+    text = render_soak_report(rows)
+    if args.json != "-":
+        print(text)
+    if args.report is not None:
+        with open(args.report, "w") as fh:
+            fh.write(text + "\n")
+        if args.json != "-":
+            print(f"report written to {args.report}")
+    if args.json is not None:
+        payload = json.dumps([_soak_row_dict(row) for row in rows],
+                             indent=2, sort_keys=True) + "\n"
+        if args.json == "-":
+            sys.stdout.write(payload)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(payload)
+    return 0 if all(row.result.ok for row in rows) else 1
+
+
+def _soak_row_dict(row) -> dict:
+    r = row.result
+    return {
+        "scheme": r.scheme, "mix": row.mix, "seed": r.seed,
+        "plan": r.plan_desc, "cores": r.cores, "units": r.units,
+        "rx_delivered": r.rx_delivered, "rx_offered": r.rx_offered,
+        "tx_segments": r.tx_segments, "wall_cycles": r.wall_cycles,
+        "goodput": r.goodput, "degradation_pct": row.degradation_pct,
+        "faults": r.fault_summary, "recovery": r.recovery,
+        "exposure": r.exposure, "violations": r.violations,
+    }
+
+
 def main(argv: Iterable[str] | None = None) -> int:
     args = build_parser().parse_args(
         list(argv) if argv is not None else None)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # One line, one distinct exit code per error family — no
+        # tracebacks for anticipated failures (see _EXIT_CODES).
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+
+
+def _dispatch(args) -> int:
     if args.command == "schemes":
         return cmd_schemes()
     if args.command == "audit":
@@ -411,6 +550,8 @@ def main(argv: Iterable[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "report":
         from repro.bench.report import run_report
 

@@ -36,7 +36,7 @@ from repro.dma.api import (
     DmaHandle,
     SchemeProperties,
 )
-from repro.errors import DmaApiError
+from repro.errors import DmaApiError, PoolExhaustedError, ReproError
 from repro.hw.cpu import CAT_COPY_MGMT, CAT_MEMCPY, CAT_OTHER, Core
 from repro.hw.machine import Machine
 from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
@@ -45,7 +45,7 @@ from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
 from repro.obs.requests import MARK_COPIED
 from repro.obs.spans import SPAN_COPY
-from repro.obs.trace import EV_DMA_COPY
+from repro.obs.trace import EV_DMA_BOUNCE, EV_DMA_COPY
 from repro.sim.units import PAGE_SHIFT, PAGE_SIZE, page_align_up
 
 
@@ -77,6 +77,17 @@ class _HybridCookie:
     tail_len: int
 
 
+@dataclass
+class _BounceCookie:
+    """Unmap context for a swiotlb-style bounce mapping — the last rung
+    of the degradation ladder (shadow pool → §5.3 fallback → bounce)."""
+
+    pa: int                 # bounce pages (buddy allocation)
+    npages: int             # allocated page count (power of two)
+    iova: int               # page-aligned IOVA of the bounce range
+    node: int
+
+
 class ShadowDmaApi(DmaApi):
     """The ``copy`` scheme: strict byte-granularity protection via DMA
     shadowing."""
@@ -98,7 +109,8 @@ class ShadowDmaApi(DmaApi):
                  sticky: bool = True,
                  hybrid_huge_buffers: bool = True,
                  max_buffers_per_class: int = 16 * 1024,
-                 max_pool_bytes: int | None = None):
+                 max_pool_bytes: int | None = None,
+                 bounce_fallback: bool = False):
         super().__init__()
         self.machine = machine
         self.cost = machine.cost
@@ -119,6 +131,13 @@ class ShadowDmaApi(DmaApi):
         self._rx_hint: CopyHint | None = None
         self._coherent: dict[int, CoherentBuffer] = {}
         self.hybrid_maps = 0
+        #: Opt-in degradation: when the pool (and its §5.3 fallback)
+        #: cannot produce a shadow, fall back to a swiotlb-style bounce
+        #: mapping instead of failing the map.  Off by default so a
+        #: configured pool cap still fails loudly (the chaos harness
+        #: turns it on).
+        self.bounce_fallback = bounce_fallback
+        self.bounce_maps = 0
 
     # ------------------------------------------------------------------
     # Copy hints (§5.4).
@@ -150,7 +169,13 @@ class ShadowDmaApi(DmaApi):
                     f"hybrid path is disabled"
                 )
             return self._map_hybrid(core, buf, direction)
-        meta = self.pool.acquire_shadow(core, buf, buf.size, direction.perm)
+        try:
+            meta = self.pool.acquire_shadow(core, buf, buf.size,
+                                            direction.perm)
+        except PoolExhaustedError:
+            if not self.bounce_fallback:
+                raise
+            return self._map_bounce(core, buf, direction)
         if direction.device_reads:
             copy_len = buf.size
             if self._tx_hint is not None:
@@ -163,10 +188,65 @@ class ShadowDmaApi(DmaApi):
         handle = DmaHandle(iova=meta.iova, size=buf.size, direction=direction)
         return handle, meta
 
+    def _map_bounce(self, core: Core, buf: KBuffer,
+                    direction: DmaDirection) -> tuple[DmaHandle, _BounceCookie]:
+        """Swiotlb-style bounce mapping: fresh pages + a transient
+        strict-unmapped IOMMU mapping.  Slower than a shadow (page
+        granular, allocates on the hot path) but keeps traffic moving
+        when the pool is saturated."""
+        npages = max(1, page_align_up(buf.size) >> PAGE_SHIFT)
+        order = max(0, (npages - 1).bit_length())
+        alloc_pages = 1 << order
+        node = buf.node
+        pa = self.allocators.buddies[node].alloc_pages(order, core)
+        try:
+            iova = self.fallback_iova.alloc(alloc_pages, core, pa)
+        except ReproError:
+            self.allocators.buddies[node].free_pages(pa, core)
+            raise
+        try:
+            self.iommu.map_range(self.domain, iova, pa,
+                                 alloc_pages << PAGE_SHIFT, direction.perm,
+                                 core, kind="dedicated")
+        except ReproError:
+            self.fallback_iova.free(iova, alloc_pages, core)
+            self.allocators.buddies[node].free_pages(pa, core)
+            raise
+        if direction.device_reads:
+            self._charged_copy(core, dst_pa=pa, src_pa=buf.pa,
+                               nbytes=buf.size, remote=False)
+        self.bounce_maps += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_DMA_BOUNCE, core.now, core.cid,
+                                 iova=iova, size=buf.size)
+            self.obs.metrics.counter("dma.bounce_maps").inc()
+        cookie = _BounceCookie(pa=pa, npages=alloc_pages, iova=iova,
+                               node=node)
+        return (DmaHandle(iova=iova, size=buf.size, direction=direction),
+                cookie)
+
+    def _unmap_bounce(self, core: Core, buf: KBuffer, handle: DmaHandle,
+                      cookie: _BounceCookie) -> None:
+        if handle.direction.device_writes:
+            self._charged_copy(core, dst_pa=buf.pa, src_pa=cookie.pa,
+                               nbytes=handle.size, remote=False)
+        # Strict teardown: the bounce pages are reused by the buddy, so
+        # no stale translation may survive.
+        self.iommu.unmap_range(self.domain, cookie.iova,
+                               cookie.npages << PAGE_SHIFT, core)
+        self.iommu.invalidation_queue.invalidate_sync(
+            core, self.domain.domain_id, cookie.iova >> PAGE_SHIFT,
+            cookie.npages)
+        self.fallback_iova.free(cookie.iova, cookie.npages, core)
+        self.allocators.buddies[cookie.node].free_pages(cookie.pa, core)
+
     def _unmap(self, core: Core, buf: KBuffer, handle: DmaHandle,
                cookie: object) -> None:
         if isinstance(cookie, _HybridCookie):
             self._unmap_hybrid(core, buf, handle, cookie)
+            return
+        if isinstance(cookie, _BounceCookie):
+            self._unmap_bounce(core, buf, handle, cookie)
             return
         # The real implementation has only the IOVA at unmap time; use the
         # O(1) lookup and cross-check against the map-time cookie.
@@ -229,29 +309,56 @@ class ShadowDmaApi(DmaApi):
 
         cursor = iova_base
         head_meta = tail_meta = None
-        if head_len:
-            head_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE, rights)
-            self.iommu.map_range(self.domain, cursor, head_meta.pa,
-                                 PAGE_SIZE, rights, core, kind="dedicated")
-            if direction.device_reads:
-                self._charged_copy(core, dst_pa=head_meta.pa + offset,
-                                   src_pa=buf.pa, nbytes=head_len,
-                                   remote=head_meta.domain_node != buf.node)
-            cursor += PAGE_SIZE
-        if middle_pages:
-            middle_pa = buf.pa + head_len
-            self.iommu.map_range(self.domain, cursor, middle_pa,
-                                 middle_pages << PAGE_SHIFT, rights, core)
-            cursor += middle_pages << PAGE_SHIFT
-        if tail_len:
-            tail_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE, rights)
-            self.iommu.map_range(self.domain, cursor, tail_meta.pa,
-                                 PAGE_SIZE, rights, core, kind="dedicated")
-            if direction.device_reads:
-                tail_src = buf.pa + head_len + (middle_pages << PAGE_SHIFT)
-                self._charged_copy(core, dst_pa=tail_meta.pa,
-                                   src_pa=tail_src, nbytes=tail_len,
-                                   remote=tail_meta.domain_node != buf.node)
+        mapped_ranges: list[tuple[int, int]] = []   # (iova, nbytes)
+        try:
+            if head_len:
+                head_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE,
+                                                     rights)
+                self.iommu.map_range(self.domain, cursor, head_meta.pa,
+                                     PAGE_SIZE, rights, core,
+                                     kind="dedicated")
+                mapped_ranges.append((cursor, PAGE_SIZE))
+                if direction.device_reads:
+                    self._charged_copy(
+                        core, dst_pa=head_meta.pa + offset,
+                        src_pa=buf.pa, nbytes=head_len,
+                        remote=head_meta.domain_node != buf.node)
+                cursor += PAGE_SIZE
+            if middle_pages:
+                middle_pa = buf.pa + head_len
+                self.iommu.map_range(self.domain, cursor, middle_pa,
+                                     middle_pages << PAGE_SHIFT, rights, core)
+                mapped_ranges.append((cursor, middle_pages << PAGE_SHIFT))
+                cursor += middle_pages << PAGE_SHIFT
+            if tail_len:
+                tail_meta = self.pool.acquire_shadow(core, buf, PAGE_SIZE,
+                                                     rights)
+                self.iommu.map_range(self.domain, cursor, tail_meta.pa,
+                                     PAGE_SIZE, rights, core,
+                                     kind="dedicated")
+                mapped_ranges.append((cursor, PAGE_SIZE))
+                if direction.device_reads:
+                    tail_src = buf.pa + head_len + (middle_pages << PAGE_SHIFT)
+                    self._charged_copy(
+                        core, dst_pa=tail_meta.pa,
+                        src_pa=tail_src, nbytes=tail_len,
+                        remote=tail_meta.domain_node != buf.node)
+        except ReproError:
+            # Partially built hybrid mapping: tear down what exists (with
+            # strict invalidation), return the shadows and the IOVA range,
+            # then degrade to a bounce if the ladder allows it.
+            for iova_r, nbytes in mapped_ranges:
+                self.iommu.unmap_range(self.domain, iova_r, nbytes, core)
+                self.iommu.invalidation_queue.invalidate_sync(
+                    core, self.domain.domain_id, iova_r >> PAGE_SHIFT,
+                    max(1, nbytes >> PAGE_SHIFT))
+            for meta in (head_meta, tail_meta):
+                if meta is not None:
+                    self.pool.release_shadow(core, meta)
+            self.fallback_iova.free(iova_base, total_pages, core)
+            if self.bounce_fallback:
+                return self._map_bounce(core, buf, direction)
+            raise
 
         self.hybrid_maps += 1
         handle_iova = iova_base + offset if head_len else iova_base
@@ -303,9 +410,18 @@ class ShadowDmaApi(DmaApi):
         order = max(0, (pages - 1).bit_length())
         pa = self.allocators.buddies[node].alloc_pages(order, core)
         npages = 1 << order
-        iova = self.fallback_iova.alloc(npages, core, pa)
-        self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
-                             Perm.RW, core, kind="dedicated")
+        try:
+            iova = self.fallback_iova.alloc(npages, core, pa)
+        except ReproError:
+            self.allocators.buddies[node].free_pages(pa, core)
+            raise
+        try:
+            self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
+                                 Perm.RW, core, kind="dedicated")
+        except ReproError:
+            self.fallback_iova.free(iova, npages, core)
+            self.allocators.buddies[node].free_pages(pa, core)
+            raise
         kbuf = KBuffer(pa=pa, size=size, node=node)
         buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
         self._coherent[iova] = buf

@@ -28,7 +28,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.iova_encoding import ShadowIovaCodec
-from repro.errors import ConfigurationError, PoolExhaustedError
+from repro.errors import (
+    ConfigurationError,
+    DmaApiUsageError,
+    PoolExhaustedError,
+    ReproError,
+)
+from repro.faults.plan import SITE_POOL_GROW
 from repro.hw.cpu import CAT_COPY_MGMT, Core
 from repro.hw.locks import SpinLock
 from repro.hw.machine import Machine
@@ -216,6 +222,7 @@ class ShadowBufferPool:
         self.max_pool_bytes = max_pool_bytes
         self.stats = PoolStats()
         self.obs = machine.obs
+        self.faults = machine.faults
 
         self._lists: Dict[ListKey, _FreeList] = {}
         self._arrays: Dict[Tuple[int, int], _MetadataArray] = {}
@@ -289,14 +296,21 @@ class ShadowBufferPool:
             if meta is None:
                 raise PoolExhaustedError(f"IOVA {iova:#x} has dead metadata")
             return meta
-        base = iova & ~(self.size_classes[0] - 1)
-        meta = self._fallback.get(base) or self._fallback.get(iova)
+        # Fallback buffers are stored under exactly ``meta.iova`` (the
+        # external IOVA plus the buffer's sub-page offset).  Looking up
+        # the page base as well would let a stale or corrupted IOVA
+        # resolve to a *different* buffer sharing the page — one
+        # canonical key keeps misuse loud.
+        meta = self._fallback.get(iova)
         if meta is None:
             raise PoolExhaustedError(f"unknown fallback IOVA {iova:#x}")
         return meta
 
     def release_shadow(self, core: Core, meta: ShadowBufferMeta) -> None:
         """Return a shadow buffer to its free list (sticky — §5.3)."""
+        if meta.os_buf is None:
+            raise DmaApiUsageError(
+                f"double release of shadow buffer IOVA {meta.iova:#x}")
         remote = core.cid != meta.owner_core
         if self.obs.enabled:
             self.obs.spans.begin(SPAN_POOL_RELEASE, core)
@@ -342,6 +356,9 @@ class ShadowBufferPool:
         size = self.size_classes[class_index]
         node = self.machine.node_of_core(core_id)
         alloc_bytes = max(size, PAGE_SIZE)
+        if self.faults.enabled and self.faults.fires(SITE_POOL_GROW, core):
+            raise PoolExhaustedError(
+                "injected shadow-pool grow failure (fault plan)")
         if (self.max_pool_bytes is not None
                 and self.stats.bytes_allocated + alloc_bytes > self.max_pool_bytes):
             raise PoolExhaustedError(
@@ -351,12 +368,18 @@ class ShadowBufferPool:
         # Page-quantity allocation from the owner core's NUMA node.
         order = max(0, (alloc_bytes - 1).bit_length() - PAGE_SHIFT)
         pa = self.allocators.buddies[node].alloc_pages(order, core)
-        if size < PAGE_SIZE:
-            nbuffers = PAGE_SIZE // size
-            metas = self._carve_page(core, flist, pa, node, nbuffers)
-        else:
-            nbuffers = 1
-            metas = [self._make_meta(core, flist, pa, node)]
+        try:
+            if size < PAGE_SIZE:
+                nbuffers = PAGE_SIZE // size
+                metas = self._carve_page(core, flist, pa, node, nbuffers)
+            else:
+                nbuffers = 1
+                metas = [self._make_meta(core, flist, pa, node)]
+        except ReproError:
+            # Metadata/IOVA/page-table failure after the page grant: the
+            # fresh pages must go back or the buddy leaks under soak.
+            self.allocators.buddies[node].free_pages(pa, core)
+            raise
         self.stats.note_grow(alloc_bytes, nbuffers)
         if self.obs.enabled:
             self.obs.tracer.emit(EV_POOL_GROW, core.now, core.cid,
@@ -389,10 +412,24 @@ class ShadowBufferPool:
         array.lock.release(core)
         if start is None or start % nbuffers:
             # Array exhausted (or an incompatible layout from a previous
-            # configuration): fall back buffer by buffer.
-            return [self._make_fallback_meta(core, flist,
-                                             page_pa + i * size, node)
-                    for i in range(nbuffers)]
+            # configuration): fall back buffer by buffer, unwinding the
+            # earlier siblings if one of them fails mid-carve.
+            built: List[ShadowBufferMeta] = []
+            try:
+                for i in range(nbuffers):
+                    built.append(self._make_fallback_meta(
+                        core, flist, page_pa + i * size, node))
+            except ReproError:
+                for meta in built:
+                    base = meta.iova & ~(PAGE_SIZE - 1)
+                    span = max(meta.size + (meta.iova - base), PAGE_SIZE)
+                    self.iommu.unmap_range(self.domain, base, span, core)
+                    self.iommu.invalidation_queue.invalidate_sync(
+                        core, self.domain.domain_id, base >> PAGE_SHIFT,
+                        max(1, span >> PAGE_SHIFT))
+                    self._retire_meta(core, meta)
+                raise
+            return built
         metas: List[ShadowBufferMeta] = []
         for i in range(nbuffers):
             iova = self.codec.encode(core_id, rights, class_index, start + i)
@@ -404,8 +441,18 @@ class ShadowBufferPool:
             array.entries[start + i] = meta
             metas.append(meta)
         # One page-granular mapping covers every carved buffer.
-        self.iommu.map_range(self.domain, metas[0].iova, page_pa,
-                             PAGE_SIZE, rights, core, kind="dedicated")
+        try:
+            self.iommu.map_range(self.domain, metas[0].iova, page_pa,
+                                 PAGE_SIZE, rights, core, kind="dedicated")
+        except ReproError:
+            array.lock.acquire(core)
+            if len(array.entries) == start + nbuffers:
+                del array.entries[start:]
+            else:
+                for i in range(nbuffers):
+                    array.entries[start + i] = None
+            array.lock.release(core)
+            raise
         return metas
 
     def _make_meta(self, core: Core, flist: _FreeList, pa: int,
@@ -419,8 +466,16 @@ class ShadowBufferPool:
         if index is None:
             return self._make_fallback_meta(core, flist, pa, node)
         iova = self.codec.encode(core_id, rights, class_index, index)
-        self.iommu.map_range(self.domain, iova, pa, size, rights, core,
-                             kind="dedicated")
+        try:
+            self.iommu.map_range(self.domain, iova, pa, size, rights, core,
+                                 kind="dedicated")
+        except ReproError:
+            array.lock.acquire(core)
+            if index == len(array.entries) - 1 \
+                    and array.entries[index] is None:
+                array.entries.pop()
+            array.lock.release(core)
+            raise
         meta = ShadowBufferMeta(
             meta_index=index, domain_node=node, class_index=class_index,
             size=size, pa=pa, iova=iova, list_key=flist.key,
@@ -443,9 +498,13 @@ class ShadowBufferPool:
         iova_base = self.fallback_iova.alloc(npages, core, page_pa)
         # Sub-page buffers map their whole (same-rights) page; larger
         # buffers map exactly their pages.
-        self.iommu.map_range(self.domain, iova_base, page_pa,
-                             max(size + offset, PAGE_SIZE), rights, core,
-                             kind="dedicated")
+        try:
+            self.iommu.map_range(self.domain, iova_base, page_pa,
+                                 max(size + offset, PAGE_SIZE), rights, core,
+                                 kind="dedicated")
+        except ReproError:
+            self.fallback_iova.free(iova_base, npages, core)
+            raise
         iova = iova_base + offset
         meta = ShadowBufferMeta(
             meta_index=-1, domain_node=node, class_index=class_index,

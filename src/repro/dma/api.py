@@ -24,7 +24,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.errors import DmaApiError
+from repro.errors import DmaApiError, ReproError
 from repro.hw.cpu import Core
 from repro.iommu.iommu import DmaPort
 from repro.iommu.page_table import Perm
@@ -144,7 +144,14 @@ class DmaApi(abc.ABC):
             raise DmaApiError("dma_map of empty buffer")
         if self.obs.enabled:
             self.obs.spans.begin(SPAN_DMA_MAP, core)
-        handle, cookie = self._map(core, buf, direction)
+        try:
+            handle, cookie = self._map(core, buf, direction)
+        except ReproError:
+            # Keep the span stack balanced when a map fails (schemes
+            # unwind their own IOVA/page/pool state before re-raising).
+            if self.obs.enabled:
+                self.obs.spans.end(core)
+            raise
         if self.obs.enabled:
             self.obs.spans.end(core)
         if handle.iova in self._live:
@@ -198,7 +205,16 @@ class DmaApi(abc.ABC):
         """Map a scatter/gather list (each element mapped analogously §2.2)."""
         if not bufs:
             raise DmaApiError("dma_map_sg of empty list")
-        handles = [self.dma_map(core, buf, direction) for buf in bufs]
+        handles: List[DmaHandle] = []
+        try:
+            for buf in bufs:
+                handles.append(self.dma_map(core, buf, direction))
+        except ReproError:
+            # All-or-nothing: a half-mapped list would leak its mapped
+            # elements (the caller only ever sees the exception).
+            for handle in reversed(handles):
+                self.dma_unmap(core, handle)
+            raise
         self.stats.sg_maps += 1
         return handles
 

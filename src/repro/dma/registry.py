@@ -118,6 +118,12 @@ def create_dma_api(name: str, machine: Machine, iommu: Iommu | None,
     # Single rebind point: every scheme observes through the machine's
     # context; directly-constructed schemes (unit tests) stay NULL_OBS.
     api.obs = machine.obs
+    # Same pattern for fault injection: the machine's injector reaches
+    # the IOVA allocators the scheme composed.
+    for attr in ("iova_allocator", "fallback_iova"):
+        allocator = getattr(api, attr, None)
+        if allocator is not None and hasattr(allocator, "faults"):
+            allocator.faults = machine.faults
     return api
 
 

@@ -31,7 +31,7 @@ from repro.dma.api import (
     DmaHandle,
     SchemeProperties,
 )
-from repro.errors import DmaApiError, IommuFault
+from repro.errors import DmaApiError, IommuFault, ReproError
 from repro.hw.cpu import CAT_OTHER, CAT_PT_MGMT, Core
 from repro.hw.machine import Machine
 from repro.iommu.iommu import Domain, Iommu
@@ -130,17 +130,43 @@ class SelfInvalidatingDmaApi(DmaApi):
             iova_base=iova_base, npages=npages,
             dma_budget=self.dma_budget,
             expires_at=core.now + self.lifetime_cycles)
-        for i in range(npages):
-            page = (iova_base >> PAGE_SHIFT) + i
-            rc = self._page_rc.get(page, 0)
-            if rc == 0:
-                page_pa = ((pa_base >> PAGE_SHIFT) + i) << PAGE_SHIFT
-                self.iommu.map_range(self.domain, page << PAGE_SHIFT,
-                                     page_pa, PAGE_SIZE, Perm.RW, core)
-            self._page_rc[page] = rc + 1
-            # Overlapping mappings on one page share the latest arming —
-            # a real hazard of per-page hardware counters, kept visible.
-            self._armed_by_page[page] = armed
+        built: list[tuple[int, _ArmedMapping | None, bool]] = []
+        try:
+            for i in range(npages):
+                page = (iova_base >> PAGE_SHIFT) + i
+                rc = self._page_rc.get(page, 0)
+                mapped = False
+                if rc == 0:
+                    page_pa = ((pa_base >> PAGE_SHIFT) + i) << PAGE_SHIFT
+                    self.iommu.map_range(self.domain, page << PAGE_SHIFT,
+                                         page_pa, PAGE_SIZE, Perm.RW, core)
+                    mapped = True
+                self._page_rc[page] = rc + 1
+                # Overlapping mappings on one page share the latest arming —
+                # a real hazard of per-page hardware counters, kept visible.
+                prev = self._armed_by_page.get(page)
+                self._armed_by_page[page] = armed
+                built.append((page, prev, mapped))
+        except ReproError:
+            # Unwind the partially armed pages: restore the previous
+            # arming, drop the refcounts, and tear down any PTEs this
+            # map installed (with strict invalidation).
+            for page, prev, mapped in reversed(built):
+                if prev is None:
+                    self._armed_by_page.pop(page, None)
+                else:
+                    self._armed_by_page[page] = prev
+                rc = self._page_rc.get(page, 1) - 1
+                if rc <= 0:
+                    self._page_rc.pop(page, None)
+                else:
+                    self._page_rc[page] = rc
+                if mapped:
+                    self.iommu.unmap_range(self.domain, page << PAGE_SHIFT,
+                                           PAGE_SIZE, core)
+                    self.iommu.invalidation_queue.invalidate_sync(
+                        core, self.domain.domain_id, page, 1)
+            raise
         # Arming the counters is one extra descriptor write.
         core.charge(60, CAT_OTHER)
         return (DmaHandle(iova=iova_base + offset, size=buf.size,
@@ -199,8 +225,12 @@ class SelfInvalidatingDmaApi(DmaApi):
         npages = 1 << order
         iova = self.iova_allocator.alloc(npages, core, pa)
         # Coherent mappings are *not* armed: they must live until freed.
-        self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
-                             Perm.RW, core, kind="dedicated")
+        try:
+            self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
+                                 Perm.RW, core, kind="dedicated")
+        except ReproError:
+            self.allocators.buddies[node].free_pages(pa, core)
+            raise
         kbuf = KBuffer(pa=pa, size=size, node=node)
         buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
         self._coherent[iova] = buf

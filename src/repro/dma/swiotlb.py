@@ -27,6 +27,7 @@ from repro.dma.api import (
     SchemeProperties,
 )
 from repro.errors import DmaApiError, PoolExhaustedError
+from repro.faults.plan import SITE_POOL_GROW
 from repro.hw.cpu import CAT_MEMCPY, CAT_OTHER, Core
 from repro.hw.locks import SpinLock
 from repro.hw.machine import Machine
@@ -75,6 +76,10 @@ class SwiotlbDmaApi(DmaApi):
 
     # ------------------------------------------------------------------
     def _alloc_slots(self, core: Core, nslots: int) -> int:
+        faults = self.machine.faults
+        if faults.enabled and faults.fires(SITE_POOL_GROW, core):
+            raise PoolExhaustedError(
+                "injected SWIOTLB pool exhaustion (fault plan)")
         self._lock.acquire(core)
         core.charge(180, CAT_OTHER)  # bitmap scan
         # LIFO exact-fit first (recently freed slots are cache warm),

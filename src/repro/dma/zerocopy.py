@@ -32,7 +32,7 @@ from repro.dma.api import (
     DmaHandle,
     SchemeProperties,
 )
-from repro.errors import DmaApiError
+from repro.errors import DmaApiError, ReproError
 from repro.hw.cpu import CAT_OTHER, Core
 from repro.hw.locks import NullLock, SpinLock
 from repro.hw.machine import Machine
@@ -86,9 +86,32 @@ class ZeroCopyDmaApi(DmaApi):
         offset = buf.pa - pa_base
         npages = ((offset + buf.size - 1) >> PAGE_SHIFT) + 1
         iova_base = self.iova_allocator.alloc(npages, core, pa_base)
-        for i in range(npages):
-            self._map_one_page(core, (iova_base >> PAGE_SHIFT) + i,
-                               (pa_base >> PAGE_SHIFT) + i, perm)
+        mapped = 0
+        try:
+            for i in range(npages):
+                self._map_one_page(core, (iova_base >> PAGE_SHIFT) + i,
+                                   (pa_base >> PAGE_SHIFT) + i, perm)
+                mapped += 1
+        except ReproError:
+            # Page-table failure mid-map: release the pages already
+            # mapped (with a strict invalidation — over-invalidating is
+            # safe for both policies) and give the IOVA range back.
+            cleared: List[int] = []
+            first = iova_base >> PAGE_SHIFT
+            for i in range(mapped):
+                page = first + i
+                ref = self._page_refs[page]
+                ref.refcount -= 1
+                if ref.refcount == 0:
+                    del self._page_refs[page]
+                    self.iommu.unmap_range(self.domain, page << PAGE_SHIFT,
+                                           PAGE_SIZE, core)
+                    cleared.append(page)
+            if cleared:
+                self.iommu.invalidation_queue.invalidate_sync(
+                    core, self.domain.domain_id, cleared[0], len(cleared))
+            self.iova_allocator.free(iova_base, npages, core)
+            raise
         handle = DmaHandle(iova=iova_base + offset, size=buf.size,
                            direction=direction)
         cookie = _MapCookie(iova_base=iova_base, npages=npages,
@@ -156,8 +179,13 @@ class ZeroCopyDmaApi(DmaApi):
         pa = self.allocators.buddies[node].alloc_pages(order, core)
         npages = 1 << order
         iova = self.iova_allocator.alloc(npages, core, pa)
-        self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
-                             Perm.RW, core, kind="dedicated")
+        try:
+            self.iommu.map_range(self.domain, iova, pa, npages << PAGE_SHIFT,
+                                 Perm.RW, core, kind="dedicated")
+        except ReproError:
+            self.iova_allocator.free(iova, npages, core)
+            self.allocators.buddies[node].free_pages(pa, core)
+            raise
         kbuf = KBuffer(pa=pa, size=size, node=node)
         buf = CoherentBuffer(kbuf=kbuf, iova=iova, size=size)
         self._coherent[iova] = buf

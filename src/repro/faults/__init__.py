@@ -1,0 +1,27 @@
+"""Deterministic fault injection, recovery policies, and chaos soak.
+
+See docs/faults.md for the site catalogue, plan grammar, recovery
+policies, and the invariants the soak harness enforces.
+"""
+
+from .injector import NULL_FAULTS, FaultInjector, NullFaultInjector
+from .plan import (
+    ALL_SITES,
+    SITE_ATTACK_BURST,
+    SITE_INV_STALL,
+    SITE_IOVA_ALLOC,
+    SITE_NIC_RX_DROP,
+    SITE_POOL_GROW,
+    SITE_PT_MAP,
+    SITE_RING_OVERFLOW,
+    FaultPlan,
+    SiteRule,
+    site_seed,
+)
+
+__all__ = [
+    "ALL_SITES", "FaultInjector", "FaultPlan", "NULL_FAULTS",
+    "NullFaultInjector", "SITE_ATTACK_BURST", "SITE_INV_STALL",
+    "SITE_IOVA_ALLOC", "SITE_NIC_RX_DROP", "SITE_POOL_GROW",
+    "SITE_PT_MAP", "SITE_RING_OVERFLOW", "SiteRule", "site_seed",
+]

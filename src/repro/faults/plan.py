@@ -1,0 +1,189 @@
+"""Fault plans: *what* to inject, *where*, and *when*.
+
+A :class:`FaultPlan` is pure configuration — a seed plus one
+:class:`SiteRule` per injection site.  It deliberately contains no
+mutable state, so the same plan object can drive any number of
+:class:`~repro.faults.injector.FaultInjector` instances and every one of
+them replays exactly the same fault schedule (determinism is the whole
+point of the subsystem; see docs/faults.md).
+
+Sites are stable dotted names, mirroring the trace-event schema.  Each
+names one well-defined failure the simulation can absorb:
+
+=====================  =================================================
+``pool.grow``          shadow-pool grow fails (buddy refuses the pages)
+``iova.alloc``         IOVA allocator reports exhaustion
+``pt.map``             page-table node allocation fails inside map_range
+``inv.stall``          invalidation wait-descriptor never retires
+``nic.rx_drop``        NIC silently drops an incoming frame
+``ring.overflow``      TX descriptor ring is reported full
+``attack.burst``       a malicious peer device fires a DMA probe burst
+=====================  =================================================
+
+A rule triggers either *stochastically* (``rate`` — probability per
+consult, drawn from a per-site deterministic RNG) or *scripted* (``at``
+— fire on exactly the Nth consult of that site, 1-based), and can be
+capped with ``max_fires``.
+
+Plans are built programmatically or parsed from the compact CLI spec
+accepted by ``python -m repro chaos --plan``::
+
+    pool.grow:rate=0.05,inv.stall:at=3|7,iova.alloc:rate=0.1:max=2
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+
+# ----------------------------------------------------------------------
+# Injection sites (stable schema — docs/faults.md documents each).
+# ----------------------------------------------------------------------
+SITE_POOL_GROW = "pool.grow"
+SITE_IOVA_ALLOC = "iova.alloc"
+SITE_PT_MAP = "pt.map"
+SITE_INV_STALL = "inv.stall"
+SITE_NIC_RX_DROP = "nic.rx_drop"
+SITE_RING_OVERFLOW = "ring.overflow"
+SITE_ATTACK_BURST = "attack.burst"
+
+ALL_SITES = (
+    SITE_POOL_GROW, SITE_IOVA_ALLOC, SITE_PT_MAP, SITE_INV_STALL,
+    SITE_NIC_RX_DROP, SITE_RING_OVERFLOW, SITE_ATTACK_BURST,
+)
+
+
+def site_seed(seed: int, site: str) -> int:
+    """Stable per-site sub-seed.
+
+    Derived with sha256 rather than ``hash()`` so the schedule survives
+    interpreter restarts and ``PYTHONHASHSEED`` randomisation — the
+    determinism tests compare JSONL traces byte-for-byte across
+    processes.
+    """
+    digest = hashlib.sha256(f"{seed}:{site}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class SiteRule:
+    """When one site fires.
+
+    ``rate`` is the per-consult probability (0 disables the stochastic
+    part); ``at`` lists 1-based consult indices that fire
+    unconditionally; ``max_fires`` caps the total fires (``None`` =
+    unbounded).
+    """
+
+    rate: float = 0.0
+    at: Tuple[int, ...] = ()
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ConfigurationError(
+                f"fault rate must be in [0, 1]: {self.rate}")
+        if any(i < 1 for i in self.at):
+            raise ConfigurationError(
+                f"scripted trigger indices are 1-based: {self.at}")
+        if self.max_fires is not None and self.max_fires < 0:
+            raise ConfigurationError(
+                f"max_fires must be non-negative: {self.max_fires}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, immutable fault schedule: seed + per-site rules."""
+
+    seed: int = 0
+    rules: Dict[str, SiteRule] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for site in self.rules:
+            if site not in ALL_SITES:
+                raise ConfigurationError(
+                    f"unknown fault site {site!r}; valid sites: "
+                    + ", ".join(ALL_SITES))
+
+    def rule(self, site: str) -> Optional[SiteRule]:
+        return self.rules.get(site)
+
+    @property
+    def empty(self) -> bool:
+        return not self.rules
+
+    def describe(self) -> str:
+        if self.empty:
+            return "no faults"
+        parts = []
+        for site in ALL_SITES:
+            r = self.rules.get(site)
+            if r is None:
+                continue
+            bits = []
+            if r.rate:
+                bits.append(f"rate={r.rate:g}")
+            if r.at:
+                bits.append("at=" + "|".join(str(i) for i in r.at))
+            if r.max_fires is not None:
+                bits.append(f"max={r.max_fires}")
+            parts.append(f"{site}:" + ":".join(bits) if bits else site)
+        return ", ".join(parts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: str, *, seed: int = 0) -> "FaultPlan":
+        """Parse the compact CLI spec into a plan.
+
+        Grammar: comma-separated clauses, each
+        ``site[:rate=F][:at=N|N|...][:max=N]``.
+        """
+        rules: Dict[str, SiteRule] = {}
+        for clause in spec.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            parts = clause.split(":")
+            site = parts[0].strip()
+            if site not in ALL_SITES:
+                raise ConfigurationError(
+                    f"unknown fault site {site!r} in plan spec; valid "
+                    "sites: " + ", ".join(ALL_SITES))
+            if site in rules:
+                raise ConfigurationError(
+                    f"duplicate fault site {site!r} in plan spec")
+            rate = 0.0
+            at: Tuple[int, ...] = ()
+            max_fires: Optional[int] = None
+            for opt in parts[1:]:
+                key, sep, value = opt.partition("=")
+                key = key.strip()
+                if not sep:
+                    raise ConfigurationError(
+                        f"malformed option {opt!r} for site {site!r} "
+                        "(expected key=value)")
+                try:
+                    if key == "rate":
+                        rate = float(value)
+                    elif key == "at":
+                        at = tuple(int(v) for v in value.split("|") if v)
+                    elif key == "max":
+                        max_fires = int(value)
+                    else:
+                        raise ConfigurationError(
+                            f"unknown option {key!r} for site {site!r} "
+                            "(valid: rate, at, max)")
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"bad value {value!r} for {site}:{key}: {exc}"
+                    ) from exc
+            if rate == 0.0 and not at:
+                raise ConfigurationError(
+                    f"site {site!r} needs rate= or at= to ever fire")
+            rules[site] = SiteRule(rate=rate, at=at, max_fires=max_fires)
+        if not rules:
+            raise ConfigurationError(f"empty fault plan spec: {spec!r}")
+        return cls(seed=seed, rules=rules)

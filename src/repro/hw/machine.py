@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from repro.errors import ConfigurationError
+from repro.faults.injector import NULL_FAULTS
 from repro.hw.cpu import Core
 from repro.hw.memory import PhysicalMemory
 from repro.obs.context import NULL_OBS, Observability
@@ -35,7 +36,7 @@ class Machine:
 
     def __init__(self, cores: List[Core], nodes: List[NumaNode],
                  memory: PhysicalMemory, cost: CostModel,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None, faults=None):
         if not cores:
             raise ConfigurationError("machine needs at least one core")
         self.cores = cores
@@ -45,11 +46,15 @@ class Machine:
         #: Observability context every component built on this machine
         #: shares.  Disabled (NULL_OBS) by default — see repro.obs.
         self.obs = obs if obs is not None else NULL_OBS
+        #: Fault injector shared the same way (NULL_FAULTS by default) —
+        #: see repro.faults.
+        self.faults = faults if faults is not None else NULL_FAULTS
 
     @classmethod
     def build(cls, cores: int = 16, numa_nodes: int = 2,
               cost: CostModel | None = None,
-              obs: Observability | None = None) -> "Machine":
+              obs: Observability | None = None,
+              faults=None) -> "Machine":
         """Construct a machine with ``cores`` spread evenly over ``numa_nodes``."""
         if cores < 1:
             raise ConfigurationError(f"invalid core count: {cores}")
@@ -68,7 +73,7 @@ class Machine:
             core_objs.append(core)
             nodes[nid].cores.append(core)
         memory = PhysicalMemory(num_nodes=numa_nodes)
-        return cls(core_objs, nodes, memory, cost, obs=obs)
+        return cls(core_objs, nodes, memory, cost, obs=obs, faults=faults)
 
     # ------------------------------------------------------------------
     @property

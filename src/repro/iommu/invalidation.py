@@ -23,18 +23,34 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Tuple
 
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.plan import SITE_INV_STALL
 from repro.hw.cpu import CAT_INVALIDATE, Core
 from repro.hw.locks import NullLock, SharedResource, SpinLock
 from repro.iommu.iotlb import Iotlb
 from repro.obs.context import NULL_OBS, Observability
 from repro.obs.requests import MARK_INVALIDATED
 from repro.obs.spans import SPAN_IOTLB_INVALIDATE
-from repro.obs.trace import EV_INV_COMPLETE, EV_INV_FLUSH, EV_INV_SUBMIT
+from repro.obs.trace import (
+    EV_FAULT_RECOVER,
+    EV_INV_COMPLETE,
+    EV_INV_FLUSH,
+    EV_INV_SUBMIT,
+    EV_INV_TIMEOUT,
+)
 from repro.sim.costmodel import CostModel
 from repro.sim.units import us_to_cycles
 
 #: Sliding window (cycles) over which concurrent submitters are counted.
 _CONCURRENCY_WINDOW_CYCLES = us_to_cycles(64.0)
+
+#: Recovery policy for wait descriptors that never retire (injected via
+#: the ``inv.stall`` fault site): spin this long before declaring a
+#: timeout, back off idling (exponentially) between bounded re-submits,
+#: then reset the queue and flush the whole IOTLB as a last resort.
+_STALL_TIMEOUT_CYCLES = us_to_cycles(10.0)
+_STALL_BACKOFF_CYCLES = us_to_cycles(2.0)
+_STALL_MAX_RETRIES = 3
 
 
 def _in_window(t: int, horizon: int) -> bool:
@@ -60,16 +76,21 @@ class InvalidationQueue:
 
     def __init__(self, iotlb: Iotlb, cost: CostModel,
                  lock: SpinLock | NullLock | None = None,
-                 obs: Observability | None = None):
+                 obs: Observability | None = None, faults=None):
         self.iotlb = iotlb
         self.cost = cost
         self.lock: SpinLock | NullLock = lock if lock is not None \
             else NullLock("qi-lock")
         self.obs = obs if obs is not None else NULL_OBS
+        self.faults = faults if faults is not None else NULL_FAULTS
         self.hardware = SharedResource("iommu-invalidation-hw")
         self._recent: Deque[Tuple[int, int]] = deque()  # (time, core id)
         self.sync_invalidations = 0
         self.batch_flushes = 0
+        # Stall-recovery accounting (see _recover_stall).
+        self.timeouts = 0
+        self.recovered_stalls = 0
+        self.queue_resets = 0
 
     # ------------------------------------------------------------------
     # Concurrency estimation (drives the Fig. 8a latency degradation).
@@ -135,9 +156,12 @@ class InvalidationQueue:
         concurrency = self._note_submission(core)
         submitted_at = core.now
         latency = self.cost.iotlb_invalidation_latency(concurrency)
-        done = self.hardware.occupy(core.now, latency)
-        core.spin_until(done, CAT_INVALIDATE)
-        core.charge(self.cost.invq_wait_poll_cycles, CAT_INVALIDATE)
+        if self.faults.enabled and self.faults.fires(SITE_INV_STALL, core):
+            done = self._recover_stall(core, scope, latency)
+        else:
+            done = self.hardware.occupy(core.now, latency)
+            core.spin_until(done, CAT_INVALIDATE)
+            core.charge(self.cost.invq_wait_poll_cycles, CAT_INVALIDATE)
         if self.obs.enabled:
             observed = done - submitted_at
             metrics = self.obs.metrics
@@ -152,6 +176,61 @@ class InvalidationQueue:
                                  scope=scope, latency_cycles=observed)
             self.obs.requests.mark(core, MARK_INVALIDATED)
             self.obs.spans.end(core)
+
+    def _recover_stall(self, core: Core, scope: str, latency: int) -> int:
+        """A wait descriptor never retired: timeout, back off, re-submit
+        (bounded), then reset the queue and flush the whole IOTLB.
+
+        Never raises and never leaves an IOTLB entry the caller believes
+        is gone — over-invalidating is always safe, so strict schemes
+        keep their zero-window guarantee even through a reset.  Returns
+        the completion instant.
+        """
+        retries = 0
+        while True:
+            core.spin_until(core.now + _STALL_TIMEOUT_CYCLES,
+                            CAT_INVALIDATE)
+            core.charge(self.cost.invq_wait_poll_cycles, CAT_INVALIDATE)
+            self.timeouts += 1
+            if self.obs.enabled:
+                self.obs.tracer.emit(EV_INV_TIMEOUT, core.now, core.cid,
+                                     scope=scope, retry=retries)
+                self.obs.metrics.counter("invalidation.timeouts").inc()
+            if retries >= _STALL_MAX_RETRIES:
+                break
+            core.advance_to(core.now + (_STALL_BACKOFF_CYCLES << retries))
+            retries += 1
+            core.charge(self.cost.invq_submit_cycles, CAT_INVALIDATE)
+            if not (self.faults.enabled
+                    and self.faults.fires(SITE_INV_STALL, core)):
+                done = self.hardware.occupy(core.now, latency)
+                core.spin_until(done, CAT_INVALIDATE)
+                core.charge(self.cost.invq_wait_poll_cycles,
+                            CAT_INVALIDATE)
+                self.recovered_stalls += 1
+                if self.obs.enabled:
+                    self.obs.tracer.emit(EV_FAULT_RECOVER, core.now,
+                                         core.cid, site=SITE_INV_STALL,
+                                         action="retry", retries=retries)
+                    self.obs.metrics.counter(
+                        "invalidation.stall_retries").inc()
+                return done
+        # Retries exhausted: model a queue reset.  The reset path always
+        # completes, and flushing every entry is a superset of whatever
+        # the stuck descriptor was meant to revoke.
+        self.queue_resets += 1
+        core.charge(self.cost.invq_submit_cycles * 2, CAT_INVALIDATE)
+        done = self.hardware.occupy(
+            core.now, self.cost.iotlb_invalidation_latency(1))
+        core.spin_until(done, CAT_INVALIDATE)
+        self.iotlb.invalidate_all()
+        self.recovered_stalls += 1
+        if self.obs.enabled:
+            self.obs.exposure.note_invalidate_all(core.now)
+            self.obs.tracer.emit(EV_FAULT_RECOVER, core.now, core.cid,
+                                 site=SITE_INV_STALL, action="queue-reset")
+            self.obs.metrics.counter("invalidation.queue_resets").inc()
+        return done
 
     def _invalidate_locked(self, core: Core, domain_id: int,
                            iova_page: int, npages: int) -> None:

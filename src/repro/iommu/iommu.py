@@ -19,7 +19,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Protocol
 
-from repro.errors import ConfigurationError, IommuFault
+from repro.errors import ConfigurationError, IommuFault, KallocError
+from repro.faults.plan import SITE_PT_MAP
 from repro.hw.cpu import CAT_PT_MGMT, Core
 from repro.hw.locks import NullLock, SpinLock
 from repro.hw.machine import Machine
@@ -113,7 +114,8 @@ class Iommu:
         lock = (SpinLock("qi-lock", machine.cost, obs=machine.obs)
                 if concurrent_invalidation_lock else NullLock("qi-lock"))
         self.invalidation_queue = InvalidationQueue(self.iotlb, machine.cost,
-                                                    lock, obs=machine.obs)
+                                                    lock, obs=machine.obs,
+                                                    faults=machine.faults)
         self.domains: Dict[int, Domain] = {}
         self.faults = FaultRing(capacity=fault_capacity)
         self._domain_ids = itertools.count(1)
@@ -148,6 +150,10 @@ class Iommu:
             raise ConfigurationError(
                 f"IOVA {iova:#x} and PA {pa:#x} offsets disagree"
             )
+        faults = self.machine.faults
+        if faults.enabled and faults.fires(SITE_PT_MAP, core):
+            raise KallocError(
+                "injected page-table allocation failure (fault plan)")
         first_iova_page = iova >> PAGE_SHIFT
         first_pfn = pa >> PAGE_SHIFT
         npages = ((iova + size - 1) >> PAGE_SHIFT) - first_iova_page + 1

@@ -27,6 +27,8 @@ from collections import defaultdict
 from typing import Dict, List
 
 from repro.errors import ConfigurationError, IovaExhaustedError
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.plan import SITE_IOVA_ALLOC
 from repro.hw.cpu import Core
 from repro.hw.locks import NullLock, SpinLock
 from repro.sim.costmodel import CostModel
@@ -68,6 +70,10 @@ class LinuxIovaAllocator:
 
     name = "linux"
 
+    #: Fault injector (instance-assigned by the scheme registry; the
+    #: class default keeps standalone construction injection-free).
+    faults = NULL_FAULTS
+
     def __init__(self, cost: CostModel, lock: SpinLock | NullLock | None = None,
                  alloc_cycles: int | None = None):
         self.cost = cost
@@ -81,9 +87,15 @@ class LinuxIovaAllocator:
     def alloc(self, npages: int, core: Core, pa: int) -> int:  # noqa: ARG002
         if npages < 1:
             raise ConfigurationError("IOVA allocation of zero pages")
+        if self.faults.enabled and self.faults.fires(SITE_IOVA_ALLOC, core):
+            raise IovaExhaustedError("injected IOVA exhaustion (fault plan)")
         self.lock.acquire(core)
         core.charge(self._alloc_cycles)
-        base = self._take_range(npages)
+        try:
+            base = self._take_range(npages)
+        except IovaExhaustedError:
+            self.lock.release(core)
+            raise
         self._allocated[base] = npages
         self.lock.release(core)
         return base << PAGE_SHIFT
@@ -109,15 +121,57 @@ class LinuxIovaAllocator:
         return len(self._allocated)
 
     def _take_range(self, npages: int) -> int:
+        base = self._try_take(npages)
+        if base is None:
+            # Exhaustion: coalesce the recycled ranges (rewinding the
+            # cursor over any block that reaches it) and retry once.
+            self._coalesce()
+            base = self._try_take(npages)
+        if base is None:
+            raise IovaExhaustedError("IOVA space exhausted")
+        return base
+
+    def _try_take(self, npages: int) -> int | None:
         # Prefer a recycled range of exactly the right size.
         for i, (base, size) in enumerate(self._free_ranges):
             if size == npages:
                 del self._free_ranges[i]
                 return base
-        if self._cursor - npages < _FIRST_PAGE:
-            raise IovaExhaustedError("IOVA space exhausted")
-        self._cursor -= npages
-        return self._cursor
+        # Virgin space below the downward cursor.
+        if self._cursor - npages >= _FIRST_PAGE:
+            self._cursor -= npages
+            return self._cursor
+        # Split the smallest recycled range that still fits.
+        best = -1
+        best_size = 0
+        for i, (base, size) in enumerate(self._free_ranges):
+            if size > npages and (best < 0 or size < best_size):
+                best, best_size = i, size
+        if best >= 0:
+            base, size = self._free_ranges[best]
+            self._free_ranges[best] = (base + npages, size - npages)
+            return base
+        return None
+
+    def _coalesce(self) -> None:
+        """Merge adjacent recycled ranges; rewind the cursor over any
+        merged block that ends exactly at it (that space is virgin
+        again)."""
+        if not self._free_ranges:
+            return
+        self._free_ranges.sort()
+        merged: List[List[int]] = []
+        for base, size in self._free_ranges:
+            if merged and merged[-1][0] + merged[-1][1] == base:
+                merged[-1][1] += size
+            else:
+                merged.append([base, size])
+        self._free_ranges = []
+        for base, size in merged:
+            if base == self._cursor:
+                self._cursor = base + size
+            else:
+                self._free_ranges.append((base, size))
 
     # Internal hook for EiovaR / magazines, called with the lock held
     # conceptually (they manage their own locking).
@@ -145,6 +199,8 @@ class EiovaRAllocator:
 
     name = "eiovar"
 
+    faults = NULL_FAULTS
+
     def __init__(self, cost: CostModel, lock: SpinLock | NullLock | None = None):
         self.cost = cost
         self.lock = lock if lock is not None else NullLock("iova-lock")
@@ -155,6 +211,8 @@ class EiovaRAllocator:
         self.cache_misses = 0
 
     def alloc(self, npages: int, core: Core, pa: int) -> int:  # noqa: ARG002
+        if self.faults.enabled and self.faults.fires(SITE_IOVA_ALLOC, core):
+            raise IovaExhaustedError("injected IOVA exhaustion (fault plan)")
         self.lock.acquire(core)
         bucket = self._cache[npages]
         if bucket:
@@ -164,10 +222,28 @@ class EiovaRAllocator:
             self.cache_hits += 1
         else:
             core.charge(self.cost.iova_rbtree_cycles)
-            base = self._tree._take_range_unlocked(npages)
+            try:
+                base = self._tree._take_range_unlocked(npages)
+            except IovaExhaustedError:
+                # The cached ranges of *other* sizes may cover most of
+                # the space: spill them back to the tree and retry once
+                # (splitting/coalescing happens down there).
+                self._spill_cache()
+                try:
+                    base = self._tree._take_range_unlocked(npages)
+                except IovaExhaustedError:
+                    self.lock.release(core)
+                    raise
             self.cache_misses += 1
         self.lock.release(core)
         return base << PAGE_SHIFT
+
+    def _spill_cache(self) -> None:
+        for size, bases in self._cache.items():
+            for base in bases:
+                self._tree._free_ranges.append((base, size))
+            bases.clear()
+        self._tree._coalesce()
 
     def free(self, iova: int, npages: int, core: Core) -> None:
         base = iova >> PAGE_SHIFT
@@ -197,6 +273,8 @@ class MagazineIovaAllocator:
 
     name = "magazine"
 
+    faults = NULL_FAULTS
+
     def __init__(self, cost: CostModel, num_cores: int,
                  lock: SpinLock | NullLock | None = None,
                  magazine_size: int = 127):
@@ -212,25 +290,47 @@ class MagazineIovaAllocator:
         self.depot_refills = 0
 
     def alloc(self, npages: int, core: Core, pa: int) -> int:  # noqa: ARG002
+        if self.faults.enabled and self.faults.fires(SITE_IOVA_ALLOC, core):
+            raise IovaExhaustedError("injected IOVA exhaustion (fault plan)")
         magazine = self._magazines[core.cid][npages]
         core.charge(self.cost.iova_magazine_cycles)
         if magazine:
             base = magazine.pop()
             self._tree._allocated[base] = npages
             return base << PAGE_SHIFT
-        # Refill from the depot: half a magazine at a time.
+        # Refill from the depot: half a magazine at a time.  A partial
+        # refill is kept; a completely dry depot reclaims every range
+        # parked in any core's magazine before giving up.
         self.depot_lock.acquire(core)
         core.charge(self.cost.iova_rbtree_cycles)
         refill = max(1, self.magazine_size // 2)
-        for _ in range(refill):
-            # Ranges held by a magazine are reserved: neither allocated
-            # nor in the depot's free pool.
-            magazine.append(self._tree._take_range(npages))
+        try:
+            for _ in range(refill):
+                # Ranges held by a magazine are reserved: neither
+                # allocated nor in the depot's free pool.
+                magazine.append(self._tree._take_range(npages))
+        except IovaExhaustedError:
+            if not magazine:
+                self._reclaim_magazines()
+                try:
+                    magazine.append(self._tree._take_range(npages))
+                except IovaExhaustedError:
+                    self.depot_lock.release(core)
+                    raise
         self.depot_refills += 1
         self.depot_lock.release(core)
         base = magazine.pop()
         self._tree._allocated[base] = npages
         return base << PAGE_SHIFT
+
+    def _reclaim_magazines(self) -> None:
+        """Return every parked range to the depot (exhaustion recovery)."""
+        for mags in self._magazines:
+            for size, bases in mags.items():
+                for base in bases:
+                    self._tree._free_ranges.append((base, size))
+                bases.clear()
+        self._tree._coalesce()
 
     def free(self, iova: int, npages: int, core: Core) -> None:
         base = iova >> PAGE_SHIFT

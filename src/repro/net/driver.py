@@ -24,7 +24,8 @@ from typing import Dict, Optional
 from repro.core.hints import ip_length_hint
 from repro.core.shadow_dma import ShadowDmaApi
 from repro.dma.api import DmaApi, DmaDirection, DmaHandle
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
+from repro.faults.plan import SITE_RING_OVERFLOW
 from repro.hw.cpu import CAT_OTHER, CAT_RX_PARSE, Core
 from repro.hw.machine import Machine
 from repro.kalloc.slab import KBuffer, KernelAllocators
@@ -34,7 +35,7 @@ from repro.net.ring import FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
 from repro.obs.requests import REQ_RX, REQ_TX
 from repro.obs.spans import (SPAN_DEVICE_ACCESS, SPAN_RX_PACKET,
                              SPAN_TX_CHUNK)
-from repro.obs.trace import EV_NET_RX, EV_NET_TX
+from repro.obs.trace import EV_FAULT_RECOVER, EV_NET_RX, EV_NET_TX
 from repro.sim.units import PAGE_SIZE
 
 
@@ -60,6 +61,12 @@ class DriverStats:
     rx_bytes: int = 0
     tx_chunks: int = 0
     tx_bytes: int = 0
+    #: Error-path accounting (fault injection / resource pressure).
+    rx_refill_failures: int = 0
+    rx_refill_recoveries: int = 0
+    tx_map_failures: int = 0
+    tx_ring_recoveries: int = 0
+    tx_dropped_chunks: int = 0
 
 
 class NicDriver:
@@ -90,6 +97,11 @@ class NicDriver:
         #: interactions can stamp request marks (device_translated).
         nic.obs = self.obs
         self.stats = DriverStats()
+        self.faults = machine.faults
+        #: Per-queue count of RX descriptors we failed to repost — the
+        #: driver owes the ring these buffers and repays them on the
+        #: next successful refill (ring recovery, not a leak).
+        self._rx_deficit: Dict[int, int] = {}
         self._rx_rings: Dict[int, DescriptorRing] = {}
         self._tx_rings: Dict[int, DescriptorRing] = {}
         self._rx_slots: Dict[int, Dict[int, _RxSlot]] = {}
@@ -113,8 +125,9 @@ class NicDriver:
         self._rx_slots[qid] = {}
         self._tx_slots[qid] = {}
         self.nic.attach_rings(qid, rx, tx)
+        self._rx_deficit[qid] = 0
         for _ in range(self.rx_ring_size - 1):
-            self._post_rx_buffer(core, qid)
+            self._post_rx_buffer(core, qid, strict=True)
 
     def teardown_queue(self, core: Core, qid: int) -> None:
         """Unmap and free everything the queue still holds."""
@@ -128,22 +141,63 @@ class NicDriver:
             raise SimulationError("teardown with un-reaped TX slots")
         self._rx_rings.pop(qid).free(core)
         self._tx_rings.pop(qid).free(core)
+        self._rx_deficit.pop(qid, None)
 
     # ------------------------------------------------------------------
     # RX path.
     # ------------------------------------------------------------------
-    def _post_rx_buffer(self, core: Core, qid: int) -> None:
+    def _post_rx_buffer(self, core: Core, qid: int,
+                        strict: bool = False) -> bool:
+        """Allocate, map, and arm one RX buffer.
+
+        Returns ``False`` on map failure (pages are returned to the buddy
+        — nothing leaks); with ``strict`` the failure propagates instead,
+        which setup uses so a broken queue never half-exists.
+        """
         node = core.numa_node
         pa = self.allocators.buddies[node].alloc_pages(self._rx_buf_order,
                                                        core)
         buf = KBuffer(pa=pa, size=self.rx_buf_size, node=node)
-        handle = self.dma_api.dma_map(core, buf, DmaDirection.FROM_DEVICE)
+        try:
+            handle = self.dma_api.dma_map(core, buf,
+                                          DmaDirection.FROM_DEVICE)
+        except ReproError:
+            self.allocators.buddies[node].free_pages(pa, core)
+            if strict:
+                raise
+            self.stats.rx_refill_failures += 1
+            return False
         ring = self._rx_rings[qid]
         index = ring.post(Descriptor(addr=handle.iova,
                                      length=self.rx_buf_size,
                                      flags=FLAG_READY))
         self._rx_slots[qid][index] = _RxSlot(buf=buf, handle=handle)
         core.charge(self.cost.rx_refill_cycles, CAT_OTHER)
+        return True
+
+    def _refill_rx(self, core: Core, qid: int) -> None:
+        """Repost the just-consumed descriptor plus any owed deficit.
+
+        A failed repost is remembered (the ring slowly drains — graceful
+        degradation); once maps succeed again the deficit is repaid and
+        the ring returns to full depth.
+        """
+        owed = 1 + self._rx_deficit.get(qid, 0)
+        posted = 0
+        while posted < owed:
+            if not self._post_rx_buffer(core, qid):
+                break
+            posted += 1
+        self._rx_deficit[qid] = owed - posted
+        recovered = max(0, posted - 1)
+        if recovered:
+            self.stats.rx_refill_recoveries += recovered
+            if self.obs.enabled:
+                self.obs.tracer.emit(EV_FAULT_RECOVER, core.now, core.cid,
+                                     site="rx.refill", action="repost",
+                                     recovered=recovered)
+                self.obs.metrics.counter(
+                    "faults.recovered.rx_refill").inc(recovered)
 
     def receive_one(self, core: Core, qid: int, frame: bytes) -> Optional[int]:
         """Deliver ``frame`` from the wire and run full RX processing.
@@ -186,7 +240,7 @@ class NicDriver:
                                  payload=parsed.payload_len)
             self.obs.metrics.counter("net.rx_packets").inc()
         self.allocators.buddies[slot.buf.node].free_pages(slot.buf.pa, core)
-        self._post_rx_buffer(core, qid)
+        self._refill_rx(core, qid)
         if self.obs.enabled:
             self.obs.spans.end(core)        # rx_packet
             self.obs.requests.end(core)
@@ -195,10 +249,54 @@ class NicDriver:
     # ------------------------------------------------------------------
     # TX path.
     # ------------------------------------------------------------------
+    def _tx_ring_slots_ready(self, core: Core, qid: int,
+                             needed: int = 1) -> bool:
+        """Ensure ``needed`` free TX slots, reaping completions to make
+        room.  A fault plan can force the overflow path even when the
+        ring has space (the recovery — reap and retry — is identical).
+        Returns ``False`` when reaping did not help: the caller drops.
+        """
+        ring = self._tx_rings[qid]
+        short = ring.entries - ring.outstanding < needed
+        injected = (not short and self.faults.enabled
+                    and self.faults.fires(SITE_RING_OVERFLOW, core))
+        if not (short or injected):
+            return True
+        self.reap_tx(core, qid)
+        if ring.entries - ring.outstanding < needed:
+            return False
+        self.stats.tx_ring_recoveries += 1
+        if self.obs.enabled:
+            self.obs.tracer.emit(EV_FAULT_RECOVER, core.now, core.cid,
+                                 site=SITE_RING_OVERFLOW,
+                                 action="reap-retry")
+            self.obs.metrics.counter("faults.recovered.ring").inc()
+        return True
+
+    def _drop_chunk(self, core: Core, buf: KBuffer,
+                    free_buffer: bool) -> None:
+        self.stats.tx_dropped_chunks += 1
+        if free_buffer:
+            self.allocators.slabs[buf.node].kfree(buf, core)
+
     def send_chunk(self, core: Core, qid: int, buf: KBuffer,
-                   free_buffer: bool = True) -> None:
-        """Map and post one (TSO-sized) chunk as a single descriptor."""
-        handle = self.dma_api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+                   free_buffer: bool = True) -> bool:
+        """Map and post one (TSO-sized) chunk as a single descriptor.
+
+        Returns ``False`` when the chunk was dropped (ring full after
+        reaping, or the map failed) — like a real driver's
+        ``NETDEV_TX_BUSY``/drop path, nothing leaks and the caller may
+        retry with a fresh buffer.
+        """
+        if not self._tx_ring_slots_ready(core, qid):
+            self._drop_chunk(core, buf, free_buffer)
+            return False
+        try:
+            handle = self.dma_api.dma_map(core, buf, DmaDirection.TO_DEVICE)
+        except ReproError:
+            self.stats.tx_map_failures += 1
+            self._drop_chunk(core, buf, free_buffer)
+            return False
         ring = self._tx_rings[qid]
         index = ring.post(Descriptor(addr=handle.iova, length=buf.size,
                                      flags=FLAG_READY | FLAG_EOP))
@@ -211,6 +309,7 @@ class NicDriver:
             self.obs.tracer.emit(EV_NET_TX, core.now, core.cid, qid=qid,
                                  nbytes=buf.size, sg=False)
             self.obs.metrics.counter("net.tx_chunks").inc()
+        return True
 
     def send_chunk_sg(self, core: Core, qid: int, buf: KBuffer,
                       free_buffer: bool = True) -> int:
@@ -230,8 +329,18 @@ class NicDriver:
             elements.append(KBuffer(pa=buf.pa + offset, size=chunk,
                                     node=buf.node))
             offset += chunk
-        handles = self.dma_api.dma_map_sg(core, elements,
-                                          DmaDirection.TO_DEVICE)
+        if not self._tx_ring_slots_ready(core, qid, needed=len(elements)):
+            self._drop_chunk(core, buf, free_buffer)
+            return 0
+        try:
+            handles = self.dma_api.dma_map_sg(core, elements,
+                                              DmaDirection.TO_DEVICE)
+        except ReproError:
+            # dma_map_sg is all-or-nothing: the mapped prefix was already
+            # unwound inside the API, so only the chunk itself remains.
+            self.stats.tx_map_failures += 1
+            self._drop_chunk(core, buf, free_buffer)
+            return 0
         ring = self._tx_rings[qid]
         last = len(handles) - 1
         for i, (element, handle) in enumerate(zip(elements, handles)):
@@ -286,7 +395,15 @@ class NicDriver:
         buf = self.allocators.slabs[node].kmalloc(chunk_bytes, core)
         if payload is not None:
             self.machine.memory.write(buf.pa, payload[:chunk_bytes])
-        self.send_chunk(core, qid, buf)
+        sent = self.send_chunk(core, qid, buf)
+        if not sent:
+            # Chunk dropped (ring full / map failure): nothing armed, so
+            # skip the device and just drain any pending completions.
+            self.reap_tx(core, qid)
+            if self.obs.enabled:
+                self.obs.spans.end(core)    # tx_chunk
+                self.obs.requests.end(core)
+            return 0
         if self.obs.enabled:
             self.obs.spans.begin(SPAN_DEVICE_ACCESS, core)
         segments = self.nic.transmit_pending(qid)

@@ -16,7 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.errors import SimulationError
+from repro.errors import IommuFault, SimulationError
+from repro.faults.injector import NULL_FAULTS
+from repro.faults.plan import SITE_NIC_RX_DROP
 from repro.iommu.iommu import DmaPort
 from repro.net.ring import FLAG_DONE, FLAG_EOP, FLAG_READY, Descriptor, DescriptorRing
 from repro.obs.context import NULL_OBS
@@ -30,6 +32,9 @@ class NicStats:
     rx_bytes: int = 0
     rx_drops_no_descriptor: int = 0
     rx_drops_too_big: int = 0
+    rx_drops_injected: int = 0
+    rx_drops_faulted: int = 0
+    tx_faulted_packets: int = 0
     tx_frames: int = 0
     tx_bytes: int = 0
     tx_wire_segments: int = 0
@@ -65,6 +70,8 @@ class Nic:
         #: the NIC has no clock, so request marks borrow that core's.
         self.obs = NULL_OBS
         self.dma_core = None
+        #: Fault injector (rebound by System.build; NULL_FAULTS → no-op).
+        self.faults = NULL_FAULTS
         self._queues: Dict[int, _QueueState] = {
             q: _QueueState() for q in range(num_queues)
         }
@@ -95,6 +102,12 @@ class Nic:
         ring = state.rx_ring
         if ring is None:
             raise SimulationError(f"queue {qid} has no RX ring")
+        if self.faults.enabled and self.faults.fires(SITE_NIC_RX_DROP,
+                                                     self.dma_core):
+            # Injected wire-side loss: the frame evaporates before the
+            # NIC touches a descriptor (models PHY/MAC drops).
+            self.stats.rx_drops_injected += 1
+            return False
         if state.rx_next >= ring.tail:
             self.stats.rx_drops_no_descriptor += 1
             return False
@@ -105,7 +118,14 @@ class Nic:
         if len(frame) > desc.length:
             self.stats.rx_drops_too_big += 1
             return False
-        self.port.dma_write(desc.addr, frame)
+        try:
+            self.port.dma_write(desc.addr, frame)
+        except IommuFault:
+            # The IOMMU blocked the payload DMA (revoked/expired
+            # mapping): from the wire's viewpoint the frame is simply
+            # lost.  The descriptor stays armed — hardware retries it.
+            self.stats.rx_drops_faulted += 1
+            return False
         if self.obs.enabled and self.dma_core is not None:
             self.obs.requests.mark(self.dma_core, MARK_DEVICE_TRANSLATED)
         ring.device_write_back(self.port, state.rx_next, Descriptor(
@@ -131,7 +151,9 @@ class Nic:
             raise SimulationError(f"queue {qid} has no TX ring")
         segments = 0
         limit = TSO_MAX_BYTES if self.tso else self.mtu
-        gather: List[bytes] = []   # scatter-gather elements of one packet
+        # Scatter-gather elements of one packet; None = poisoned by a
+        # blocked payload fetch (the packet errors out at EOP).
+        gather: Optional[List[bytes]] = []
         gathered_bytes = 0
         while state.tx_next < ring.tail:
             desc = ring.device_read(self.port, state.tx_next)
@@ -142,7 +164,17 @@ class Nic:
                     f"TX packet of {gathered_bytes + desc.length} B "
                     f"exceeds NIC limit"
                 )
-            gather.append(self.port.dma_read(desc.addr, desc.length))
+            if gather is not None:
+                try:
+                    gather.append(self.port.dma_read(desc.addr,
+                                                     desc.length))
+                except IommuFault:
+                    # Blocked payload fetch: the NIC reports the
+                    # descriptor done (so the driver reaps and recovers
+                    # the ring slot) but emits nothing on the wire — a
+                    # TX error, not a hang.  ``None`` poisons the rest
+                    # of this scatter-gather packet.
+                    gather = None
             if self.obs.enabled and self.dma_core is not None:
                 self.obs.requests.mark(self.dma_core,
                                        MARK_DEVICE_TRANSLATED)
@@ -153,6 +185,11 @@ class Nic:
             state.tx_next += 1
             if not desc.flags & FLAG_EOP:
                 continue  # more scatter-gather elements follow
+            if gather is None:
+                self.stats.tx_faulted_packets += 1
+                gather = []
+                gathered_bytes = 0
+                continue
             payload = b"".join(gather) if len(gather) > 1 else gather[0]
             gather = []
             gathered_bytes = 0

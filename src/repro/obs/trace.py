@@ -51,6 +51,10 @@ EV_PHASE = "phase"                      # workload phase boundary
 EV_IOMMU_FAULT = "iommu.fault"          # DMA blocked by the IOMMU
 EV_REQ_BEGIN = "req.begin"              # request-scoped unit of work opened
 EV_REQ_END = "req.end"                  # request completed (latency attached)
+EV_FAULT_INJECT = "fault.inject"        # fault injector fired at a site
+EV_FAULT_RECOVER = "fault.recover"      # a recovery policy absorbed a fault
+EV_INV_TIMEOUT = "inv.timeout"          # invalidation wait timed out (retry)
+EV_DMA_BOUNCE = "dma.bounce"            # mapping degraded to a bounce buffer
 
 ALL_EVENT_KINDS = (
     EV_LOCK_ACQUIRE, EV_LOCK_CONTEND, EV_LOCK_RELEASE,
@@ -60,6 +64,7 @@ ALL_EVENT_KINDS = (
     EV_NET_RX, EV_NET_TX,
     EV_SCHED_STEP, EV_PHASE, EV_IOMMU_FAULT,
     EV_REQ_BEGIN, EV_REQ_END,
+    EV_FAULT_INJECT, EV_FAULT_RECOVER, EV_INV_TIMEOUT, EV_DMA_BOUNCE,
 )
 
 

@@ -46,6 +46,8 @@ class SystemConfig:
     scheme_kwargs: Dict[str, Any] = field(default_factory=dict)
     #: Observability context (tracer + metrics); None → disabled.
     obs: Optional[Observability] = None
+    #: Fault injector (see repro.faults); None → disabled.
+    faults: Optional[Any] = None
 
     def resolved_queues(self) -> int:
         return self.nic_queues if self.nic_queues is not None else self.cores
@@ -71,7 +73,8 @@ class System:
         machine = Machine.build(cores=config.cores,
                                 numa_nodes=min(config.numa_nodes,
                                                config.cores),
-                                cost=config.cost, obs=config.obs)
+                                cost=config.cost, obs=config.obs,
+                                faults=config.faults)
         allocators = KernelAllocators(machine)
         iommu = (None if config.scheme == "no-iommu"
                  else Iommu(machine, iotlb_capacity=config.iotlb_capacity))
@@ -81,6 +84,7 @@ class System:
         nic = Nic(device_id=NIC_DEVICE_ID, port=dma_api.port(),
                   num_queues=config.resolved_queues(),
                   keep_frames=config.keep_frames)
+        nic.faults = machine.faults
         driver = NicDriver(machine, allocators, dma_api, nic,
                            rx_ring_size=config.rx_ring_size,
                            tx_ring_size=config.tx_ring_size,

@@ -1,0 +1,112 @@
+"""Shadow-pool error-path regressions (§5.3).
+
+Covers the double-release guard, the canonical fallback lookup key, and
+grow-failure unwinding under injected faults.
+"""
+
+import pytest
+
+from repro.core.shadow_pool import ShadowBufferPool
+from repro.errors import DmaApiUsageError, PoolExhaustedError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import SITE_POOL_GROW, FaultPlan, SiteRule
+from repro.hw.locks import SpinLock
+from repro.hw.machine import Machine
+from repro.iommu.iommu import Iommu
+from repro.iommu.page_table import Perm
+from repro.iova.allocators import MagazineIovaAllocator
+from repro.kalloc.slab import KBuffer, KernelAllocators
+from repro.sim.units import PAGE_SIZE
+
+
+def make_pool(cores=4, nodes=2, **kwargs):
+    machine = Machine.build(cores=cores, numa_nodes=nodes)
+    allocators = KernelAllocators(machine)
+    iommu = Iommu(machine)
+    domain = iommu.attach_device(1)
+    fallback = MagazineIovaAllocator(machine.cost, cores,
+                                     SpinLock("depot", machine.cost))
+    pool = ShadowBufferPool(machine, iommu, domain, allocators, fallback,
+                            **kwargs)
+    return machine, iommu, pool
+
+
+def os_buf(pa=0x100000, size=1500):
+    return KBuffer(pa=pa, size=size, node=0)
+
+
+def test_double_release_raises():
+    """Regression: releasing the same shadow buffer twice must fail loudly
+    instead of corrupting the free list (the buffer would appear twice and
+    be handed to two owners)."""
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    meta = pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+    pool.release_shadow(core, meta)
+    with pytest.raises(DmaApiUsageError, match="double release"):
+        pool.release_shadow(core, meta)
+    # The failed release must not have touched the accounting.
+    assert pool.stats.releases == 1
+    assert pool.stats.in_flight == 0
+
+
+def test_release_guard_does_not_break_recycling():
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    meta = pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+    pool.release_shadow(core, meta)
+    again = pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+    assert again is meta
+    pool.release_shadow(core, again)  # fine: it was re-acquired
+    assert pool.stats.acquires == pool.stats.releases == 2
+
+
+def test_fallback_lookup_uses_one_canonical_key():
+    """Regression: fallback metadata is stored under exactly ``meta.iova``
+    (external IOVA + sub-page offset).  A page-base lookup must NOT
+    resolve — resolving it could return a different buffer sharing the
+    page."""
+    # Capacity 0 forces every allocation down the fallback path; the
+    # sub-page 1024 B class gives buffers with nonzero page offsets.
+    machine, _, pool = make_pool(size_classes=(1024, 4096),
+                                 max_buffers_per_class=0)
+    core = machine.core(0)
+    first = pool.acquire_shadow(core, os_buf(size=1000), 1000, Perm.WRITE)
+    second = pool.acquire_shadow(core, os_buf(size=1000), 1000, Perm.WRITE)
+    assert first.fallback and second.fallback
+    # The carve handed out a page-aligned head and an offset sibling.
+    offset_meta = second if second.iova % PAGE_SIZE else first
+    assert offset_meta.iova % PAGE_SIZE != 0
+    assert pool.find_shadow(core, offset_meta.iova) is offset_meta
+    page_base = offset_meta.iova & ~(PAGE_SIZE - 1)
+    with pytest.raises(PoolExhaustedError, match="unknown fallback IOVA"):
+        pool.find_shadow(core, page_base)
+    pool.release_shadow(core, first)
+    pool.release_shadow(core, second)
+
+
+def test_unknown_fallback_iova_raises():
+    machine, _, pool = make_pool()
+    core = machine.core(0)
+    with pytest.raises(PoolExhaustedError, match="unknown fallback IOVA"):
+        pool.find_shadow(core, 0x7777000)
+
+
+def test_injected_grow_failure_unwinds_cleanly():
+    """An injected grow failure must leave the pool balanced and usable:
+    no buddy pages leaked, no stats drift, and the next acquire works."""
+    machine, _, pool = make_pool()
+    inj = FaultInjector(FaultPlan(seed=1, rules={
+        SITE_POOL_GROW: SiteRule(at=(1,))}))
+    inj.start()
+    pool.faults = inj
+    core = machine.core(0)
+    with pytest.raises(PoolExhaustedError, match="injected"):
+        pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+    assert pool.stats.grows == 0
+    assert pool.stats.bytes_allocated == 0
+    assert pool.stats.in_flight == 0
+    assert pool.fallback_iova.outstanding_ranges() == 0
+    meta = pool.acquire_shadow(core, os_buf(), 1500, Perm.WRITE)
+    pool.release_shadow(core, meta)
+    assert pool.stats.acquires == pool.stats.releases == 1

@@ -1,0 +1,79 @@
+"""FaultPlan construction, validation, and CLI-spec parsing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import (
+    ALL_SITES,
+    SITE_INV_STALL,
+    SITE_IOVA_ALLOC,
+    SITE_POOL_GROW,
+    FaultPlan,
+    SiteRule,
+    site_seed,
+)
+
+
+def test_empty_plan():
+    plan = FaultPlan(seed=3)
+    assert plan.empty
+    assert plan.rule(SITE_POOL_GROW) is None
+    assert plan.describe() == "no faults"
+
+
+def test_unknown_site_rejected():
+    with pytest.raises(ConfigurationError, match="unknown fault site"):
+        FaultPlan(rules={"bogus.site": SiteRule(rate=0.1)})
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"rate": -0.1}, {"rate": 1.5}, {"at": (0,)}, {"at": (-3,)},
+    {"max_fires": -1},
+])
+def test_bad_rule_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        SiteRule(**kwargs)
+
+
+def test_site_seed_stable_and_distinct():
+    assert site_seed(1, SITE_POOL_GROW) == site_seed(1, SITE_POOL_GROW)
+    assert site_seed(1, SITE_POOL_GROW) != site_seed(2, SITE_POOL_GROW)
+    assert site_seed(1, SITE_POOL_GROW) != site_seed(1, SITE_IOVA_ALLOC)
+
+
+def test_parse_full_grammar():
+    plan = FaultPlan.parse(
+        "pool.grow:rate=0.05,inv.stall:at=3|7,iova.alloc:rate=0.1:max=2",
+        seed=9)
+    assert plan.seed == 9
+    assert plan.rule(SITE_POOL_GROW) == SiteRule(rate=0.05)
+    assert plan.rule(SITE_INV_STALL) == SiteRule(at=(3, 7))
+    assert plan.rule(SITE_IOVA_ALLOC) == SiteRule(rate=0.1, max_fires=2)
+
+
+def test_parse_describe_round_trips():
+    spec = "pool.grow:rate=0.05,inv.stall:at=3|7"
+    plan = FaultPlan.parse(spec, seed=1)
+    again = FaultPlan.parse(plan.describe().replace(", ", ","), seed=1)
+    assert again == plan
+
+
+@pytest.mark.parametrize("spec,match", [
+    ("bogus.site:rate=0.5", "unknown fault site"),
+    ("pool.grow:rate=0.5,pool.grow:rate=0.1", "duplicate fault site"),
+    ("pool.grow:frequency=2", "unknown option"),
+    ("pool.grow:rate", "malformed option"),
+    ("pool.grow:rate=abc", "bad value"),
+    ("pool.grow", "needs rate= or at="),
+    ("", "empty fault plan"),
+    (" , ", "empty fault plan"),
+])
+def test_parse_rejects_bad_specs(spec, match):
+    with pytest.raises(ConfigurationError, match=match):
+        FaultPlan.parse(spec)
+
+
+def test_all_sites_parse():
+    spec = ",".join(f"{site}:rate=0.1" for site in ALL_SITES)
+    plan = FaultPlan.parse(spec)
+    assert set(plan.rules) == set(ALL_SITES)

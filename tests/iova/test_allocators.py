@@ -4,9 +4,12 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import ConfigurationError, IovaExhaustedError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import SITE_IOVA_ALLOC, FaultPlan, SiteRule
 from repro.hw.cpu import Core
 from repro.hw.locks import SpinLock
 from repro.iova.allocators import (
+    _FIRST_PAGE,
     EiovaRAllocator,
     IdentityIovaAllocator,
     LinuxIovaAllocator,
@@ -154,6 +157,110 @@ def test_locked_allocators_serialize(cost):
     alloc.alloc(1, b, 0)
     assert lock.stats.acquisitions == 2
     assert b.now >= cost.iova_rbtree_cycles  # waited for a's hold
+
+
+# ----------------------------------------------------------------------
+# Long-run exhaustion regressions: recycled ranges must be reusable for
+# *smaller* requests (split) and reassemblable for *larger* ones
+# (coalesce), or mixed-size workloads exhaust the space even though most
+# of it is free.
+# ----------------------------------------------------------------------
+def test_linux_splits_oversized_recycled_range(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    big = alloc.alloc(8, core, 0)
+    alloc.free(big, 8, core)
+    alloc._cursor = _FIRST_PAGE  # virgin space exhausted
+    a = alloc.alloc(3, core, 0)
+    b = alloc.alloc(5, core, 0)
+    # Both carved from the recycled 8-page block, no overlap.
+    assert {a, b} == {big, big + (3 << PAGE_SHIFT)}
+    alloc.free(a, 3, core)
+    alloc.free(b, 5, core)
+    assert alloc.outstanding_ranges() == 0
+
+
+def test_linux_coalesces_fragments_into_large_range(cost, core):
+    alloc = LinuxIovaAllocator(cost)
+    big = alloc.alloc(8, core, 0)
+    alloc.free(big, 8, core)
+    alloc._cursor = _FIRST_PAGE
+    parts = [alloc.alloc(2, core, 0) for _ in range(4)]
+    for i in (2, 0, 3, 1):  # free out of order: fragments are unsorted
+        alloc.free(parts[i], 2, core)
+    # Only coalescing the four 2-page fragments can satisfy this.
+    assert alloc.alloc(8, core, 0) == big
+    alloc.free(big, 8, core)
+    assert alloc.outstanding_ranges() == 0
+
+
+def test_linux_mixed_sizes_do_not_exhaust(cost, core):
+    """Regression: with only exact-size recycling, a mixed-size workload
+    in a bounded window exhausts even though most space is free."""
+    alloc = LinuxIovaAllocator(cost)
+    alloc._cursor = _FIRST_PAGE + 256  # bounded virgin window
+    live = []
+    for i in range(2000):
+        if len(live) >= 8:
+            iova, n = live.pop(i % len(live))
+            alloc.free(iova, n, core)
+        n = (i % 7) + 1
+        live.append((alloc.alloc(n, core, 0), n))
+    for iova, n in live:
+        alloc.free(iova, n, core)
+    assert alloc.outstanding_ranges() == 0
+
+
+def test_eiovar_spills_cache_on_exhaustion(cost, core):
+    """Regression: ranges parked in EiovaR's size buckets must be
+    spillable back to the tree when a differently-sized request would
+    otherwise exhaust."""
+    alloc = EiovaRAllocator(cost)
+    alloc._tree._cursor = _FIRST_PAGE + 8  # 8 virgin pages total
+    a = alloc.alloc(4, core, 0)
+    b = alloc.alloc(4, core, 0)
+    alloc.free(a, 4, core)
+    alloc.free(b, 4, core)
+    # The whole space sits in the 4-page bucket; an 8-page request must
+    # spill + coalesce it rather than raise.
+    big = alloc.alloc(8, core, 0)
+    alloc.free(big, 8, core)
+    assert alloc.outstanding_ranges() == 0
+
+
+def test_magazine_reclaims_parked_ranges_on_exhaustion(cost):
+    """Regression: ranges parked in per-core magazines must be reclaimed
+    when the depot runs dry, not stranded."""
+    alloc = MagazineIovaAllocator(cost, num_cores=2, magazine_size=4)
+    a = Core(cid=0, numa_node=0)
+    b = Core(cid=1, numa_node=0)
+    alloc._tree._cursor = _FIRST_PAGE + 8
+    held = [alloc.alloc(1, a, 0) for _ in range(8)]  # space fully handed out
+    for iova in held:
+        alloc.free(iova, 1, a)  # parked in core 0's magazine
+    # Core 1's magazine is empty and the depot is dry: only reclaiming
+    # core 0's parked ranges can serve this.
+    iova = alloc.alloc(1, b, 0)
+    alloc.free(iova, 1, b)
+    assert alloc.outstanding_ranges() == 0
+
+
+@pytest.mark.parametrize("make", [
+    lambda cost: LinuxIovaAllocator(cost),
+    lambda cost: EiovaRAllocator(cost),
+    lambda cost: MagazineIovaAllocator(cost, num_cores=1),
+])
+def test_injected_exhaustion_leaves_allocator_usable(cost, core, make):
+    alloc = make(cost)
+    inj = FaultInjector(FaultPlan(seed=1, rules={
+        SITE_IOVA_ALLOC: SiteRule(at=(1,))}))
+    inj.start()
+    alloc.faults = inj
+    with pytest.raises(IovaExhaustedError, match="injected"):
+        alloc.alloc(1, core, 0)
+    # No lock left held, no range leaked: the next cycle is clean.
+    iova = alloc.alloc(1, core, 0)
+    alloc.free(iova, 1, core)
+    assert alloc.outstanding_ranges() == 0
 
 
 @settings(max_examples=40, deadline=None)

@@ -220,3 +220,95 @@ def test_unknown_scheme_rejected():
 def test_command_required():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+# ----------------------------------------------------------------------
+# chaos subcommand + exit-code mapping.
+# ----------------------------------------------------------------------
+def test_chaos_single_mix(capsys):
+    code, out = run_cli(capsys, "chaos", "--seed", "1", "--mix", "device",
+                        "--schemes", "copy", "--units", "30")
+    assert code == 0
+    assert "copy" in out
+    assert "0 invariant failure(s)" in out
+
+
+def test_chaos_custom_plan(capsys):
+    code, out = run_cli(capsys, "chaos", "--seed", "2",
+                        "--schemes", "identity-strict", "--units", "20",
+                        "--plan", "inv.stall:rate=0.2")
+    assert code == 0
+    assert "custom" in out
+
+
+def test_chaos_json_output(capsys):
+    code, out = run_cli(capsys, "chaos", "--seed", "1", "--mix", "none",
+                        "--schemes", "copy", "--units", "10",
+                        "--json", "-")
+    assert code == 0
+    rows = json.loads(out)
+    assert len(rows) == 1
+    assert rows[0]["scheme"] == "copy"
+    assert rows[0]["violations"] == []
+    assert rows[0]["rx_offered"] == 10
+
+
+def test_chaos_report_file(capsys, tmp_path):
+    path = tmp_path / "chaos.txt"
+    code, out = run_cli(capsys, "chaos", "--seed", "1", "--mix", "none",
+                        "--schemes", "copy", "--units", "10",
+                        "--report", str(path))
+    assert code == 0
+    assert str(path) in out
+    assert "invariant failure(s)" in path.read_text()
+
+
+def test_chaos_bad_plan_exits_with_config_code(capsys):
+    code = main(["chaos", "--plan", "bogus.site:rate=0.5",
+                 "--schemes", "copy", "--units", "10"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert captured.err.startswith("error:")
+    assert "unknown fault site" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_chaos_bad_scheme_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["chaos", "--schemes"])
+
+
+def test_chaos_empty_scheme_list_exits_with_config_code(capsys):
+    code = main(["chaos", "--schemes", " , ", "--units", "10"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "empty scheme list" in captured.err
+
+
+def test_exit_codes_distinguish_error_families():
+    from repro.cli import exit_code_for
+    from repro.errors import (
+        AllocationError,
+        ConfigurationError,
+        DmaApiError,
+        IommuFault,
+        IovaExhaustedError,
+        KallocError,
+        MemoryAccessError,
+        PoolExhaustedError,
+        ReproError,
+        SecurityViolation,
+        SimulationError,
+    )
+    expected = {
+        ConfigurationError: 2, IovaExhaustedError: 3,
+        PoolExhaustedError: 4, KallocError: 5, AllocationError: 6,
+        MemoryAccessError: 7, DmaApiError: 9,
+        SecurityViolation: 10, SimulationError: 12, ReproError: 1,
+    }
+    for kind, code in expected.items():
+        assert exit_code_for(kind("boom")) == code
+    assert exit_code_for(IommuFault(1, 0x1000, is_write=False)) == 8
+    # Subclass specificity: the allocation family stays distinguishable.
+    assert exit_code_for(IovaExhaustedError("x")) != \
+        exit_code_for(AllocationError("x"))

@@ -42,7 +42,8 @@ def main() -> int:
     if baseline is None:
         print(f"note: no baseline at {BASELINE}; running ungated",
               file=sys.stderr)
-    return run_bench(mode="quick", baseline=baseline)
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return run_bench(mode="quick", baseline=baseline, jobs=jobs)
 
 
 if __name__ == "__main__":

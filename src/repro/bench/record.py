@@ -64,14 +64,42 @@ def build_fingerprint(mode: str, schemes: Sequence[str],
 
 def build_record(mode: str, figures: Dict[str, dict],
                  schemes: Sequence[str],
-                 cost: Optional[CostModel] = None) -> Dict:
-    """Assemble the full record from the runner's per-figure data."""
-    return {
+                 cost: Optional[CostModel] = None,
+                 throughput: Optional[Dict[str, dict]] = None) -> Dict:
+    """Assemble the full record from the runner's per-figure data.
+
+    ``throughput`` is the runner's per-figure (plus ``"overall"``)
+    simulator-speed section: ``sim_cycles`` are deterministic, while
+    ``wall_seconds`` / ``sim_cycles_per_wall_second`` are host-dependent
+    — :func:`stable_view` strips the latter for byte-for-byte record
+    comparison.
+    """
+    record = {
         "schema_version": SCHEMA_VERSION,
         "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "fingerprint": build_fingerprint(mode, schemes, cost),
         "figures": figures,
     }
+    if throughput is not None:
+        record["throughput"] = throughput
+    return record
+
+
+def stable_view(record: Dict) -> Dict:
+    """A deep copy with every host-dependent field removed.
+
+    What remains is fully determined by the simulation, so two runs of
+    the same code at the same scale — at any ``--jobs`` count — must
+    produce byte-identical stable views (the property the fan-out tests
+    assert).
+    """
+    view = json.loads(json.dumps(record))
+    view.pop("created", None)
+    for entry in view.get("throughput", {}).values():
+        if isinstance(entry, dict):
+            entry.pop("wall_seconds", None)
+            entry.pop("sim_cycles_per_wall_second", None)
+    return view
 
 
 def single_run_record(row: Dict, mode: str = "single",
@@ -154,6 +182,20 @@ def render_markdown(record: Dict) -> str:
         f"- schema version: {record.get('schema_version', '?')}",
         "",
     ]
+    throughput = record.get("throughput")
+    if throughput:
+        lines.extend([
+            "## Simulator throughput",
+            "",
+            "| figure | sim cycles | wall [s] | sim cycles / wall s |",
+            "|---|---:|---:|---:|",
+        ])
+        for name, entry in throughput.items():
+            lines.append(
+                f"| {name} | {entry.get('sim_cycles', 0):,} "
+                f"| {entry.get('wall_seconds', 0)} "
+                f"| {entry.get('sim_cycles_per_wall_second', 0):,} |")
+        lines.append("")
     for name, figure in record.get("figures", {}).items():
         lines.append(f"## {name}: {figure.get('title', '')}")
         lines.append("")

@@ -44,6 +44,13 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[bool, float]] = {
     "latency_p50_us": (False, 0.10),
     "latency_p99_us": (False, 0.15),
     "latency_p999_us": (False, 0.25),
+    # Simulator speed (record["throughput"], not a series metric): the
+    # only wall-clock-based number in the record, so the band must absorb
+    # host variance between the baseline machine and the gating machine.
+    # 0.8 means the gate trips when the simulator runs at under 1/5th of
+    # the baseline's rate — an order-of-magnitude event-loop regression,
+    # not scheduler jitter.
+    "sim_cycles_per_wall_second": (True, 0.8),
 }
 
 
@@ -127,6 +134,37 @@ def compare_records(baseline: Dict, current: Dict,
                         figure=fig_name, scheme=str(row.get("scheme")),
                         key=_key_label(key), metric=metric,
                         baseline=float(base_val), current=float(cur_val)))
+    regressions.extend(_compare_throughput(baseline, current, tol))
+    return regressions
+
+
+def _compare_throughput(baseline: Dict, current: Dict,
+                        tol: Dict[str, Tuple[bool, float]],
+                        ) -> List[Regression]:
+    """Gate the per-figure simulator-speed section, when both records
+    carry one (records predating the section pass trivially)."""
+    metric = "sim_cycles_per_wall_second"
+    if metric not in tol:
+        return []
+    higher_is_better, band = tol[metric]
+    base_tp = baseline.get("throughput") or {}
+    regressions: List[Regression] = []
+    for name, cur_entry in (current.get("throughput") or {}).items():
+        base_entry = base_tp.get(name)
+        if not isinstance(base_entry, dict) \
+                or not isinstance(cur_entry, dict):
+            continue
+        base_val = base_entry.get(metric)
+        cur_val = cur_entry.get(metric)
+        if not base_val or cur_val is None:
+            continue
+        change = (cur_val - base_val) / base_val
+        bad = -change if higher_is_better else change
+        if bad > band:
+            regressions.append(Regression(
+                figure=name, scheme="*",
+                key=f"simulator throughput ({name})", metric=metric,
+                baseline=float(base_val), current=float(cur_val)))
     return regressions
 
 

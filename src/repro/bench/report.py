@@ -20,7 +20,6 @@ human-facing artifact (CI uploads it; see ``.github/workflows/ci.yml``).
 from __future__ import annotations
 
 import os
-import sys
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,6 +27,7 @@ from repro.bench.record import build_record, render_markdown
 from repro.bench.runner import (
     FIGURE_SCHEMES,
     QUICK_SCALE,
+    build_figures,
     default_results_dir,
     select_figures,
 )
@@ -129,18 +129,16 @@ def _tail_attribution(tail: float) -> List[str]:
 
 def run_report(out: Optional[str] = None,
                only: Optional[Sequence[str]] = None,
-               tail: float = 99.0) -> int:
+               tail: float = 99.0, jobs: int = 1) -> int:
     """Build and write the consolidated report; returns exit status."""
     specs = select_figures(only)
-    figures: Dict[str, dict] = {}
     started = time.time()
-    for spec in specs:
-        t0 = time.time()
-        figures[spec.name] = spec.build(QUICK_SCALE)
-        print(f"[report] {spec.name:<8} {spec.title:<50} "
-              f"{time.time() - t0:6.1f}s", file=sys.stderr)
+    # The same timed-run helper ``bench`` uses — progress lines, wall
+    # accounting, and the --jobs fan-out are implemented exactly once.
+    figures, throughput = build_figures(specs, QUICK_SCALE, jobs=jobs,
+                                        label="report")
     record = build_record(mode=QUICK_SCALE.name, figures=figures,
-                          schemes=FIGURE_SCHEMES)
+                          schemes=FIGURE_SCHEMES, throughput=throughput)
 
     parts = [
         render_markdown(record).rstrip(),

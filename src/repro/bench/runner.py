@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 import sys
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -442,18 +443,97 @@ def select_figures(only: Optional[Sequence[str]]) -> List[FigureSpec]:
     return [by_name[name] for name in only]
 
 
+def _figure_sim_cycles(figure: dict) -> int:
+    """Total simulated cycles behind one figure's series rows."""
+    return sum(int(row.get("wall_cycles") or 0)
+               for row in figure.get("series", ()))
+
+
+def _throughput_entry(sim_cycles: int, wall_seconds: float) -> dict:
+    rate = sim_cycles / wall_seconds if wall_seconds > 0 else 0.0
+    return {
+        "sim_cycles": sim_cycles,
+        "wall_seconds": round(wall_seconds, 3),
+        "sim_cycles_per_wall_second": round(rate),
+    }
+
+
+def _build_worker(task: Tuple[str, BenchScale]) -> Tuple[str, dict, float]:
+    """Top-level (hence picklable) per-process worker: build one figure.
+
+    The build is timed inside the worker so per-figure wall seconds mean
+    the same thing at any ``--jobs`` count.
+    """
+    name, scale = task
+    spec = next(spec for spec in FIGURES if spec.name == name)
+    t0 = time.perf_counter()
+    data = spec.build(scale)
+    return name, data, time.perf_counter() - t0
+
+
+def build_figures(specs: Sequence[FigureSpec], scale: BenchScale,
+                  jobs: int = 1, label: str = "bench",
+                  ) -> Tuple[Dict[str, dict], Dict[str, dict]]:
+    """Build every figure, timed — THE shared timed-run helper behind
+    ``bench`` and ``report`` (one implementation, so the two progress/
+    timing paths cannot drift).
+
+    Figures are independent, so ``jobs > 1`` simply distributes specs
+    over worker processes; results are merged back **in spec order**,
+    making both return values deterministic regardless of job count.
+    Returns ``(figures, throughput)``: the per-figure record data plus a
+    ``sim_cycles_per_wall_second`` entry per figure and ``"overall"``
+    (summed figure build times, not makespan — comparable across job
+    counts).
+    """
+    if jobs < 1:
+        raise SystemExit(f"error: jobs must be positive: {jobs}")
+    titles = {spec.name: spec.title for spec in specs}
+    built: Dict[str, Tuple[dict, float]] = {}
+
+    def note(name: str, data: dict, elapsed: float) -> None:
+        built[name] = (data, elapsed)
+        print(f"[{label}] {name:<8} {titles[name]:<50} "
+              f"{elapsed:6.1f}s", file=sys.stderr)
+
+    if jobs > 1 and len(specs) > 1:
+        tasks = [(spec.name, scale) for spec in specs]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+            for name, data, elapsed in pool.map(_build_worker, tasks):
+                note(name, data, elapsed)
+    else:
+        for spec in specs:
+            t0 = time.perf_counter()
+            data = spec.build(scale)
+            note(spec.name, data, time.perf_counter() - t0)
+
+    figures = {spec.name: built[spec.name][0] for spec in specs}
+    throughput: Dict[str, dict] = {}
+    total_sim, total_wall = 0, 0.0
+    for spec in specs:
+        data, elapsed = built[spec.name]
+        sim = _figure_sim_cycles(data)
+        total_sim += sim
+        total_wall += elapsed
+        throughput[spec.name] = _throughput_entry(sim, elapsed)
+    throughput["overall"] = _throughput_entry(total_sim, total_wall)
+    return figures, throughput
+
+
 def run_bench(mode: str = "quick", only: Optional[Sequence[str]] = None,
               baseline: Optional[str] = None,
-              out_dir: Optional[str] = None) -> int:
+              out_dir: Optional[str] = None, jobs: int = 1) -> int:
     """Run the registry, write the record + report, optionally gate.
 
-    Returns the process exit status: 0 on success, 1 when the baseline
-    comparison found a regression.
+    ``jobs`` shards the figure matrix across processes; the merged
+    record is byte-stable regardless of job count (modulo the timestamp
+    and the wall-clock throughput fields).  Returns the process exit
+    status: 0 on success, 1 when the baseline comparison found a
+    regression.
     """
     # Imported here to keep the module importable without a cycle once
     # record/regression need runner metadata.
-    from repro.bench.record import build_record, render_markdown, \
-        write_record
+    from repro.bench.record import build_record, write_record
     from repro.bench.regression import gate_against_baseline
 
     scale = {"quick": QUICK_SCALE, "full": FULL_SCALE}.get(mode)
@@ -464,17 +544,16 @@ def run_bench(mode: str = "quick", only: Optional[Sequence[str]] = None,
     specs = select_figures(only)
     out = out_dir or default_results_dir()
 
-    figures: Dict[str, dict] = {}
-    started = time.time()
-    for spec in specs:
-        t0 = time.time()
-        figures[spec.name] = spec.build(scale)
-        print(f"[bench] {spec.name:<8} {spec.title:<50} "
-              f"{time.time() - t0:6.1f}s", file=sys.stderr)
+    started = time.perf_counter()
+    figures, throughput = build_figures(specs, scale, jobs=jobs,
+                                        label="bench")
     record = build_record(mode=scale.name, figures=figures,
-                          schemes=FIGURE_SCHEMES)
+                          schemes=FIGURE_SCHEMES, throughput=throughput)
     json_path, md_path = write_record(record, out)
-    print(f"[bench] {len(specs)} figures in {time.time() - started:.1f}s")
+    rate = throughput["overall"]["sim_cycles_per_wall_second"]
+    print(f"[bench] {len(specs)} figures in "
+          f"{time.perf_counter() - started:.1f}s (jobs={jobs}, "
+          f"{rate:,} sim cycles/s)")
     print(f"[bench] record : {json_path}")
     print(f"[bench] report : {md_path}")
 

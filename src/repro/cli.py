@@ -262,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PCT",
                         help="tail percentile for the attribution "
                              "section (default p99)")
+    report.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="build figures across N processes "
+                             "(default 1)")
 
     bench = sub.add_parser(
         "bench", help="unified figure runner: BENCH_*.json + report + "
@@ -280,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", metavar="DIR", default=None,
                        help="output directory "
                             "(default benchmarks/results)")
+    bench.add_argument("--jobs", type=_positive_int, default=1,
+                       metavar="N",
+                       help="shard the figure matrix across N processes; "
+                            "the merged record is byte-stable regardless "
+                            "of N (default 1)")
 
     return parser
 
@@ -555,13 +564,15 @@ def _dispatch(args) -> int:
     if args.command == "report":
         from repro.bench.report import run_report
 
-        return run_report(out=args.out, only=args.only, tail=args.tail)
+        return run_report(out=args.out, only=args.only, tail=args.tail,
+                          jobs=args.jobs)
     if args.command == "bench":
         from repro.bench.runner import run_bench
 
         mode = "full" if args.full else "quick"
         return run_bench(mode=mode, only=args.only,
-                         baseline=args.baseline, out_dir=args.out)
+                         baseline=args.baseline, out_dir=args.out,
+                         jobs=args.jobs)
     raise AssertionError(f"unhandled command {args.command}")
 
 

@@ -103,10 +103,15 @@ class InvalidationQueue:
         either counted everywhere or nowhere.
         """
         horizon = now - _CONCURRENCY_WINDOW_CYCLES
-        while self._recent and not _in_window(self._recent[0][0], horizon):
-            self._recent.popleft()
-        return len({cid for t, cid in self._recent
-                    if _in_window(t, horizon)})
+        recent = self._recent
+        # Both comparisons below inline :func:`_in_window` (``t >=
+        # horizon``) — this runs per submission over the whole window, so
+        # the predicate call per element is measurable.  The per-query
+        # filter cannot become incremental distinct-counting: appends are
+        # not time-monotonic under min-clock interleaving.
+        while recent and recent[0][0] < horizon:
+            recent.popleft()
+        return len({cid for t, cid in recent if t >= horizon})
 
     def _note_submission(self, core: Core) -> int:
         self._recent.append((core.now, core.cid))

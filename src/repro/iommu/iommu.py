@@ -160,7 +160,7 @@ class Iommu:
         for i in range(npages):
             domain.page_table.map_page(first_iova_page + i, first_pfn + i, perm)
         if core is not None:
-            core.charge(self.cost.pt_map_cycles * npages, CAT_PT_MGMT)
+            core.charge(self.cost.pt_map_range_cycles(npages), CAT_PT_MGMT)
         if self.obs.enabled:
             t = core.now if core is not None else self.machine.wall_clock()
             self.obs.exposure.note_map_range(t, domain.domain_id,
@@ -180,7 +180,7 @@ class Iommu:
         for i in range(npages):
             domain.page_table.unmap_page(first_page + i)
         if core is not None:
-            core.charge(self.cost.pt_unmap_cycles * npages, CAT_PT_MGMT)
+            core.charge(self.cost.pt_unmap_range_cycles(npages), CAT_PT_MGMT)
         if self.obs.enabled:
             t = core.now if core is not None else self.machine.wall_clock()
             cached = {first_page + i for i in range(npages)

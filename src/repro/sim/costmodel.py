@@ -239,6 +239,33 @@ class CostModel:
         """Kernel→user (or user→kernel) copy; same engine as memcpy."""
         return self.memcpy_cycles(nbytes)
 
+    # ------------------------------------------------------------------
+    # Vectorized burst accumulation.  Per-item costs are integral, so a
+    # burst of ``n`` identical items costs exactly ``n`` per-item charges
+    # — one multiply replaces ``n`` round trips through ``core.charge``
+    # without shifting a single cycle.  Callers may only coalesce charges
+    # across operations that read no clock in between (no locks, shared
+    # hardware, or observability notes).
+    # ------------------------------------------------------------------
+    def tx_desc_burst_cycles(self, count: int) -> int:
+        """Driver work to build ``count`` back-to-back TX descriptors
+        (one scatter-gather posting loop)."""
+        return self.tx_desc_cycles * max(0, count)
+
+    def pt_map_range_cycles(self, npages: int) -> int:
+        """Page-table update cost for mapping an ``npages`` range."""
+        return self.pt_map_cycles * max(0, npages)
+
+    def pt_unmap_range_cycles(self, npages: int) -> int:
+        """Page-table update cost for unmapping an ``npages`` range."""
+        return self.pt_unmap_cycles * max(0, npages)
+
+    def memcpy_cycles_burst(self, nbytes: int, count: int) -> int:
+        """``count`` back-to-back ERMS copies of ``nbytes`` each."""
+        if count <= 0:
+            return 0
+        return count * self.memcpy_cycles(nbytes)
+
     def iotlb_invalidation_latency(self, concurrency: int) -> int:
         """Invalidation latency when ``concurrency`` cores are submitting.
 

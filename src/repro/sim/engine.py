@@ -76,6 +76,11 @@ class GeneratorTask:
 #: Sentinel a generator yields to mark a completed work unit.
 UNIT_DONE = object()
 
+#: Units one task may run per heap pop while it stays the min-clock core.
+#: Batching elides a heap push/pop per unit; ``1`` reproduces the classic
+#: pop-per-unit loop exactly (the reference the determinism tests use).
+DEFAULT_BURST = 64
+
 
 class Scheduler:
     """Interleaves :class:`CoreTask` streams by smallest core clock."""
@@ -94,37 +99,95 @@ class Scheduler:
                 )
             seen.add(task.core.cid)
 
-    def run(self, max_units: int | None = None) -> int:
+    def run(self, max_units: int | None = None,
+            burst: int | None = None) -> int:
         """Run until every task is exhausted (or ``max_units`` steps total).
+
+        A popped task keeps running — up to ``burst`` units (default
+        :data:`DEFAULT_BURST`) — while its clock stays *strictly* below
+        every other runnable task's, which is exactly when the classic
+        pop-per-unit loop would pop it again: on a clock tie the other
+        task holds the older heap entry and wins.  Batching is therefore
+        cycle- and trace-identical to ``burst=1``.
 
         Returns the number of work units executed.
         """
+        if burst is None:
+            burst = DEFAULT_BURST
+        if burst < 1:
+            raise SimulationError(f"burst must be positive: {burst}")
         counter = itertools.count()
         heap = [(task.core.now, next(counter), task) for task in self.tasks]
         heapq.heapify(heap)
+        if self.obs.enabled:
+            return self._run_traced(heap, counter, max_units, burst)
+        return self._run_fast(heap, counter, max_units, burst)
+
+    def _run_fast(self, heap, counter, max_units, burst) -> int:
+        """The pre-bound fast loop: no observability lookups per unit."""
+        pop = heapq.heappop
+        push = heapq.heappush
         executed = 0
         while heap:
             if max_units is not None and executed >= max_units:
                 break
-            started_at, _, task = heapq.heappop(heap)
-            if self.obs.enabled:
-                self.obs.spans.begin(SPAN_STEP, task.core)
-            more = task.run_one()
-            executed += 1
-            if self.obs.enabled:
-                self.obs.spans.end(task.core)
-                self.obs.tracer.emit(EV_SCHED_STEP, started_at,
-                                     task.core.cid, task=task.name,
-                                     ran_cycles=task.core.now - started_at,
-                                     units=task.units_done)
+            _, _, task = pop(heap)
+            core = task.core
+            run_one = task.run_one
+            # A burst never overruns max_units: the budget is clamped to
+            # the remaining allowance before the inner loop starts.
+            budget = burst if max_units is None \
+                else min(burst, max_units - executed)
+            while True:
+                more = run_one()
+                executed += 1
+                budget -= 1
+                if not more or budget == 0:
+                    break
+                if heap and heap[0][0] <= core.now:
+                    break
             if more:
-                heapq.heappush(heap, (task.core.now, next(counter), task))
+                push(heap, (core.now, next(counter), task))
+        return executed
+
+    def _run_traced(self, heap, counter, max_units, burst) -> int:
+        """The traced loop: per-unit spans and ``sched.step`` events even
+        within a burst, so batched traces match step-by-step traces."""
+        spans = self.obs.spans
+        emit = self.obs.tracer.emit
+        executed = 0
+        while heap:
+            if max_units is not None and executed >= max_units:
+                break
+            _, _, task = heapq.heappop(heap)
+            core = task.core
+            run_one = task.run_one
+            name = task.name
+            cid = core.cid
+            budget = burst if max_units is None \
+                else min(burst, max_units - executed)
+            while True:
+                started_at = core.now
+                spans.begin(SPAN_STEP, core)
+                more = run_one()
+                executed += 1
+                budget -= 1
+                spans.end(core)
+                emit(EV_SCHED_STEP, started_at, cid, task=name,
+                     ran_cycles=core.now - started_at,
+                     units=task.units_done)
+                if not more or budget == 0:
+                    break
+                if heap and heap[0][0] <= core.now:
+                    break
+            if more:
+                heapq.heappush(heap, (core.now, next(counter), task))
         return executed
 
 
 def run_per_core(cores: Iterable[Core],
                  make_step: Callable[[Core], Callable[[Core], bool]],
-                 ) -> Scheduler:
+                 obs: Observability | None = None) -> Scheduler:
     """Convenience: build one task per core via ``make_step`` and run it.
 
     ``make_step(core)`` must return the task's ``step`` callable.  Returns
@@ -132,6 +195,6 @@ def run_per_core(cores: Iterable[Core],
     """
     tasks = [CoreTask(core=c, step=make_step(c), name=f"core{c.cid}")
              for c in cores]
-    sched = Scheduler(tasks)
+    sched = Scheduler(tasks, obs=obs)
     sched.run()
     return sched

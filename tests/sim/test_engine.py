@@ -4,6 +4,8 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.hw.cpu import Core
+from repro.obs.context import Observability
+from repro.obs.trace import EV_SCHED_STEP
 from repro.sim.engine import (
     UNIT_DONE,
     CoreTask,
@@ -120,3 +122,22 @@ def test_run_per_core_helper():
 
     sched = run_per_core(cores, make_step)
     assert all(task.units_done == 2 for task in sched.tasks)
+
+
+def test_run_per_core_forwards_observability():
+    """Regression: ``run_per_core`` used to build its Scheduler without
+    the caller's context, silently dropping spans and sched-step events."""
+    cores = _cores(2)
+    obs = Observability.capture(trace_capacity=64)
+
+    def make_step(core):
+        def step(c):
+            c.charge(10)
+            return False
+        return step
+
+    sched = run_per_core(cores, make_step, obs=obs)
+    assert sched.obs is obs
+    steps = obs.tracer.events(EV_SCHED_STEP)
+    assert len(steps) == 2
+    assert obs.spans.closed == 2

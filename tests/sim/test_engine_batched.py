@@ -1,0 +1,158 @@
+"""Batched scheduling must be invisible: burst > 1 is an optimization,
+never a behavior change.
+
+``Scheduler.run(burst=1)`` is the classic pop-per-unit loop; any other
+burst may only elide heap traffic.  These tests drive randomized
+synthetic task sets (with deliberate clock ties) and real workloads
+through both, asserting identical final core clocks, unit counts,
+executed totals, exposure byte·cycles, and JSONL traces.
+"""
+
+import random
+
+import pytest
+
+import repro.sim.engine as engine
+from repro.obs.context import Observability
+from repro.obs.trace import EV_SCHED_STEP
+from repro.sim.engine import CoreTask, GeneratorTask, Scheduler
+from repro.hw.cpu import Core
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+#: Coarse charge menu: small distinct values plus repeats so different
+#: cores frequently land on *equal* clocks — the tie case where batching
+#: must yield to the task with the older heap entry.
+_CHARGES = (10, 10, 20, 30, 50, 50, 100)
+
+
+def _random_tasks(seed: int, ncores: int):
+    rng = random.Random(seed)
+    tasks = []
+    for cid in range(ncores):
+        core = Core(cid=cid, numa_node=0)
+        plan = [rng.choice(_CHARGES) for _ in range(rng.randint(5, 60))]
+
+        def make_step(schedule):
+            remaining = list(schedule)
+
+            def step(c):
+                c.charge(remaining.pop(0))
+                return bool(remaining)
+            return step
+
+        tasks.append(CoreTask(core=core, step=make_step(plan),
+                              name=f"core{cid}"))
+    return tasks
+
+
+def _run(seed: int, ncores: int, burst: int, max_units=None,
+         capture: bool = False):
+    obs = Observability.capture(trace_capacity=1 << 14) if capture else None
+    tasks = _random_tasks(seed, ncores)
+    sched = Scheduler(tasks, obs=obs)
+    executed = sched.run(max_units=max_units, burst=burst)
+    state = {
+        "executed": executed,
+        "clocks": [t.core.now for t in tasks],
+        "busy": [t.core.busy_cycles for t in tasks],
+        "units": [t.units_done for t in tasks],
+    }
+    if capture:
+        state["trace"] = obs.tracer.to_jsonl()
+    return state
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("ncores", [1, 2, 3, 8])
+def test_batched_matches_stepwise(seed, ncores):
+    reference = _run(seed, ncores, burst=1)
+    for burst in (2, 7, engine.DEFAULT_BURST):
+        assert _run(seed, ncores, burst=burst) == reference
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_batched_traces_are_identical(seed):
+    reference = _run(seed, 4, burst=1, capture=True)
+    batched = _run(seed, 4, burst=engine.DEFAULT_BURST, capture=True)
+    assert batched == reference
+    assert EV_SCHED_STEP in reference["trace"]
+
+
+@pytest.mark.parametrize("max_units", [1, 5, 7, 12, 100])
+def test_batched_max_units_never_overruns(max_units):
+    reference = _run(3, 3, burst=1, max_units=max_units, capture=True)
+    batched = _run(3, 3, burst=5, max_units=max_units, capture=True)
+    assert batched == reference
+    assert batched["executed"] == min(max_units, reference["executed"])
+
+
+def test_sched_step_events_stay_per_unit_in_a_burst():
+    """Inside one burst every unit still emits its own ``sched.step``
+    with accurate ``ran_cycles``/``units`` — the fields must never be
+    aggregated over the burst."""
+    core = Core(cid=0, numa_node=0)
+    charges = [10, 20, 30, 40]
+    remaining = list(charges)
+
+    def step(c):
+        c.charge(remaining.pop(0))
+        return bool(remaining)
+
+    obs = Observability.capture(trace_capacity=64)
+    Scheduler([CoreTask(core=core, step=step)], obs=obs).run(burst=16)
+    steps = obs.tracer.events(EV_SCHED_STEP)
+    assert [e.data["ran_cycles"] for e in steps] == charges
+    assert [e.data["units"] for e in steps] == [1, 2, 3, 4]
+
+
+def test_generator_interleaving_unchanged_by_batching():
+    """Equal-clock generator tasks must still alternate segment-by-
+    segment: a tie always hands the other (older-entry) task the next
+    segment, so a burst never runs two same-clock segments back to back."""
+    trace = []
+
+    def gen(c):
+        for i in range(4):
+            c.charge(100)
+            trace.append((c.cid, i))
+            yield
+
+    a, b = Core(cid=0, numa_node=0), Core(cid=1, numa_node=0)
+    Scheduler([GeneratorTask(core=a, gen=gen(a)),
+               GeneratorTask(core=b, gen=gen(b))]).run(
+        burst=engine.DEFAULT_BURST)
+    rounds = [sorted(trace[i:i + 2]) for i in range(0, len(trace), 2)]
+    assert rounds == [[(0, i), (1, i)] for i in range(4)]
+
+
+@pytest.mark.parametrize("cores", [1, 4])
+def test_real_workload_identical_across_bursts(monkeypatch, cores):
+    """The full RX path (strict scheme: locks, invalidation hardware,
+    exposure accounting) is cycle-, exposure-, and trace-identical when
+    the scheduler batches."""
+    cfg = dict(scheme="identity-strict", direction="rx", cores=cores,
+               message_size=16384, units_per_core=40, warmup_units=10)
+
+    def capture_run():
+        obs = Observability.capture(trace_capacity=1 << 12)
+        result = run_tcp_stream_rx(StreamConfig(**cfg, obs=obs))
+        return result, obs
+
+    monkeypatch.setattr(engine, "DEFAULT_BURST", 1)
+    stepwise, obs_stepwise = capture_run()
+    monkeypatch.setattr(engine, "DEFAULT_BURST", 64)
+    batched, obs_batched = capture_run()
+
+    assert batched.wall_cycles == stepwise.wall_cycles
+    assert batched.busy_cycles == stepwise.busy_cycles
+    assert batched.breakdown_cycles == stepwise.breakdown_cycles
+    assert batched.units == stepwise.units
+    assert obs_batched.exposure.summary() == obs_stepwise.exposure.summary()
+    assert obs_batched.tracer.to_jsonl() == obs_stepwise.tracer.to_jsonl()
+
+
+def test_burst_must_be_positive():
+    core = Core(cid=0, numa_node=0)
+    sched = Scheduler([CoreTask(core=core, step=lambda c: False)])
+    with pytest.raises(engine.SimulationError):
+        sched.run(burst=0)

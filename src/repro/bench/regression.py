@@ -44,6 +44,16 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[bool, float]] = {
     "latency_p50_us": (False, 0.10),
     "latency_p99_us": (False, 0.15),
     "latency_p999_us": (False, 0.25),
+    # Scalability (repro.obs.scaling): within-run serialized shares.
+    # These are ratios of deterministic cycle counts, so the bands only
+    # need to absorb intended cost-model/workload shifts — a serial
+    # fraction growing 15% past baseline is a scalability collapse in
+    # the making (more spinning per unit of work), exactly what the
+    # ROADMAP's per-core invalidation schemes must not regress.  The
+    # zero-baseline rule applies: a scheme whose lock-wait share was
+    # provably zero (no-iommu, single-core) starting to spin trips.
+    "lock_wait_share": (False, 0.20),
+    "scaling_serial_fraction": (False, 0.15),
     # Simulator speed (record["throughput"], not a series metric): the
     # only wall-clock-based number in the record, so the band must absorb
     # host variance between the baseline machine and the gating machine.

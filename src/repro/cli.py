@@ -249,6 +249,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write machine-readable soak rows to PATH, "
                             "or '-' for stdout")
 
+    scale_p = sub.add_parser(
+        "scale",
+        help="scalability observatory: deterministic core-count sweeps "
+             "with serial-fraction fits and lock-contention attribution")
+    scale_p.add_argument("--workload",
+                         choices=("stream", "stream-tx", "storage",
+                                  "memcached"),
+                         default="stream")
+    scale_p.add_argument("--schemes", metavar="LIST",
+                         default="identity-strict,copy",
+                         help="comma-separated schemes to sweep "
+                              "(aliases like strict/copy allowed; "
+                              "default identity-strict,copy)")
+    scale_p.add_argument("--cores", metavar="LIST",
+                         default="1,2,4,8,16,32,64",
+                         help="comma-separated core counts "
+                              "(default 1,2,4,8,16,32,64)")
+    sizing = scale_p.add_mutually_exclusive_group()
+    sizing.add_argument("--quick", action="store_true",
+                        help="smoke sizing (default)")
+    sizing.add_argument("--full", action="store_true",
+                        help="report sizing: stable curves to 64 cores")
+    scale_p.add_argument("--jobs", type=_positive_int, default=1,
+                         metavar="N",
+                         help="run sweep points across N processes; the "
+                              "record is byte-stable regardless of N "
+                              "(default 1)")
+    scale_p.add_argument("--out", metavar="DIR", default=None,
+                         help="output directory for scale.json/scale.md "
+                              "(default benchmarks/results)")
+
     report = sub.add_parser(
         "report", help="one-shot consolidated report: quick bench + "
                        "markdown summary with latency tails")
@@ -306,8 +337,8 @@ def cmd_schemes() -> int:
             security.append("no-window")
         print(f"{name:<20}{props.label:<40}"
               f"{'+'.join(security) or 'none':<30}")
-    print("\naliases: identity+ -> identity-strict, "
-          "identity- -> identity-deferred")
+    print("\naliases: identity+/strict -> identity-strict, "
+          "identity-/deferred -> identity-deferred")
     return 0
 
 
@@ -493,6 +524,8 @@ def _soak_row_dict(row) -> dict:
         "plan": r.plan_desc, "cores": r.cores, "units": r.units,
         "rx_delivered": r.rx_delivered, "rx_offered": r.rx_offered,
         "tx_segments": r.tx_segments, "wall_cycles": r.wall_cycles,
+        "wall_seconds": round(r.wall_seconds, 3),
+        "sim_cycles_per_wall_second": round(r.sim_cycles_per_wall_second),
         "goodput": r.goodput, "degradation_pct": row.degradation_pct,
         "faults": r.fault_summary, "recovery": r.recovery,
         "exposure": r.exposure, "violations": r.violations,
@@ -561,6 +594,20 @@ def _dispatch(args) -> int:
         return cmd_trace(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "scale":
+        from repro.bench.scale import run_scale
+
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+        try:
+            cores = [int(c) for c in args.cores.split(",") if c.strip()]
+        except ValueError:
+            raise ConfigurationError(
+                f"bad core list {args.cores!r}: expected "
+                f"comma-separated integers")
+        mode = "full" if args.full else "quick"
+        return run_scale(workload=args.workload, schemes=schemes,
+                         cores=cores, mode=mode, jobs=args.jobs,
+                         out_dir=args.out)
     if args.command == "report":
         from repro.bench.report import run_report
 

@@ -44,6 +44,10 @@ from repro.kalloc.slab import KernelAllocators
 PAPER_ALIASES = {
     "identity+": "identity-strict",
     "identity-": "identity-deferred",
+    # Prose shorthands (§2.2): "strict" and "deferred" unambiguously
+    # mean the identity-mapped IOMMU modes the paper evaluates.
+    "strict": "identity-strict",
+    "deferred": "identity-deferred",
 }
 
 _PROPERTIES: Dict[str, SchemeProperties] = {

@@ -29,6 +29,7 @@ baseline run with an empty plan, so the report shows what the faults
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -119,6 +120,9 @@ class ChaosResult:
     exposure: Dict[str, object] = field(default_factory=dict)
     violations: List[str] = field(default_factory=list)
     trace_jsonl: Optional[str] = None
+    #: Host seconds the run took — the only wall-clock number here;
+    #: everything else on this result is deterministic.
+    wall_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -130,6 +134,13 @@ class ChaosResult:
         if self.wall_cycles <= 0:
             return 0.0
         return self.rx_delivered * TCP_MSS / self.wall_cycles
+
+    @property
+    def sim_cycles_per_wall_second(self) -> float:
+        """Simulator speed (the bench throughput metric, per soak run)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.wall_cycles / self.wall_seconds
 
 
 def _scheme_kwargs(scheme: str) -> Dict[str, object]:
@@ -232,6 +243,7 @@ def run_chaos(scheme: str, plan: FaultPlan, *, cores: int = 1,
     Invariant violations are reported on the result, not raised, so a
     matrix run can show every failure instead of the first.
     """
+    started = time.perf_counter()
     obs = Observability.capture() if capture else None
     injector = FaultInjector(plan, obs=obs)
     system = System.build(SystemConfig(
@@ -285,6 +297,7 @@ def run_chaos(scheme: str, plan: FaultPlan, *, cores: int = 1,
     result.violations = _audit(system, obs)
     if keep_trace and obs is not None:
         result.trace_jsonl = obs.tracer.to_jsonl()
+    result.wall_seconds = time.perf_counter() - started
     return result
 
 
@@ -354,4 +367,14 @@ def render_soak_report(rows: Sequence[SoakRow]) -> str:
     failures = sum(1 for row in rows if not row.result.ok)
     lines.append("-" * 84)
     lines.append(f"{len(rows)} runs, {failures} invariant failure(s)")
+    # The bench throughput section, for soaks: long chaos runs also
+    # track simulator speed, so an event-loop regression shows up here
+    # before it shows up as a CI timeout.
+    total_sim = sum(row.result.wall_cycles for row in rows)
+    total_wall = sum(row.result.wall_seconds for row in rows)
+    if total_wall > 0:
+        lines.append(
+            f"simulator throughput: {total_sim:,} sim cycles in "
+            f"{total_wall:.1f}s wall "
+            f"({total_sim / total_wall:,.0f} sim cycles/s)")
     return "\n".join(lines)

@@ -65,6 +65,11 @@ class SpinLock:
         self.stats = LockStats()
         self._holder: Core | None = None
         self._acquired_at: int = 0
+        # Core id of the most recent holder.  By the time a waiter
+        # observes contention the lock was already released in host
+        # order (``_holder`` is None), so holder attribution for the
+        # contention matrix needs this one-slot memory.
+        self._last_holder_cid: int = -1
 
     def acquire(self, core: Core) -> None:
         if self._holder is core:
@@ -84,6 +89,9 @@ class SpinLock:
         if self.obs.enabled:
             metrics = self.obs.metrics
             metrics.counter(f"lock.acquisitions:{self.name}").inc()
+            self.obs.locks.note_acquire(self.name, core.cid,
+                                        self._last_holder_cid, waited,
+                                        core.now)
             if waited:
                 metrics.histogram(
                     f"lock.wait_cycles:{self.name}").observe(waited)
@@ -109,7 +117,9 @@ class SpinLock:
                 f"lock.hold_cycles:{self.name}").observe(held)
             self.obs.tracer.emit(EV_LOCK_RELEASE, core.now, core.cid,
                                  lock=self.name, hold_cycles=held)
+            self.obs.locks.note_release(self.name, core.cid, held)
         self.free_at = core.now
+        self._last_holder_cid = core.cid
         self._holder = None
 
     @property

@@ -85,6 +85,10 @@ class InvalidationQueue:
         self.faults = faults if faults is not None else NULL_FAULTS
         self.hardware = SharedResource("iommu-invalidation-hw")
         self._recent: Deque[Tuple[int, int]] = deque()  # (time, core id)
+        # Completion timestamps of descriptors still in flight at the
+        # latest submission — obs-only bookkeeping behind the queue-depth
+        # time series (host memory; never read by the simulation).
+        self._inflight_done: Deque[int] = deque()
         self.sync_invalidations = 0
         self.batch_flushes = 0
         # Stall-recovery accounting (see _recover_stall).
@@ -174,6 +178,16 @@ class InvalidationQueue:
             metrics.counter(f"invalidation.submissions:{scope}").inc()
             metrics.series("invalidation.concurrency").sample(
                 submitted_at, concurrency)
+            # Queue depth seen by this submission: descriptors whose
+            # completion lies beyond the submit instant.  The hardware's
+            # FIFO discipline makes completion times monotone per
+            # occupancy order, so evicting from the head suffices.
+            inflight = self._inflight_done
+            while inflight and inflight[0] <= submitted_at:
+                inflight.popleft()
+            inflight.append(done)
+            metrics.series("invalidation.queue_depth").sample(
+                submitted_at, len(inflight))
             self.obs.tracer.emit(EV_INV_SUBMIT, submitted_at, core.cid,
                                  scope=scope, domain=domain_id,
                                  pages=npages, concurrency=concurrency)

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.obs.exposure import ExposureAccountant
+from repro.obs.locks import LockContentionRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.requests import RequestRecorder
 from repro.obs.spans import SpanRecorder
@@ -58,6 +59,10 @@ class Observability:
         #: per-request ids, stage timelines, tail-latency attribution.
         self.requests = requests if requests is not None \
             else RequestRecorder()
+        #: Per-lock contention matrix (see repro.obs.locks): waiter and
+        #: holder cycles by core, waiter→holder hand-off edges.  Feeds
+        #: the scalability observatory's contention attribution.
+        self.locks = LockContentionRecorder()
         #: Master switch instrumented hot paths guard on.  Disabled means
         #: neither events, metrics, spans, nor exposure are recorded.
         self.enabled = enabled and self.tracer.enabled

@@ -13,7 +13,10 @@ run reads like a production trace —
   remains followable even across drops and retained-trace gaps;
 * **counter tracks** (``ph: "C"``) from the metrics time series
   (``pool.bytes_allocated``, ``invalidation.concurrency``,
-  ``exposure.surface_bytes``, …);
+  ``invalidation.queue_depth``, ``exposure.surface_bytes``, …) plus
+  per-lock waiter counts (``lock.waiters:<name>``) derived from the
+  retained ``lock.contend`` events, so the scaling report's contention
+  findings are visible as piles on the trace timeline;
 * the workload **phases** (warmup/measure) as slices on a dedicated
   virtual thread.
 
@@ -29,9 +32,11 @@ which is precisely the cohort the tail analyzer talks about.
 from __future__ import annotations
 
 import json
+from collections import Counter
 from typing import Dict, List, Optional
 
 from repro.obs.requests import cycles_to_us
+from repro.obs.trace import EV_LOCK_CONTEND
 
 #: Virtual tid hosting workload phase slices (real cores are 0..N-1).
 PHASE_TID = 1000
@@ -50,6 +55,40 @@ def _ts(cycles: int) -> float:
 def _dur(cycles: int) -> float:
     """Slice duration in µs; clamped so zero-cycle slices render."""
     return max(round(cycles_to_us(cycles), 6), 0.001)
+
+
+def _lock_waiter_counters(obs) -> List[Dict[str, object]]:
+    """Per-lock waiter-count counter events from the retained trace.
+
+    Every ``lock.contend`` event marks the *end* of a spin: the emitting
+    core was waiting over ``[t - wait_cycles, t]``.  An endpoint sweep
+    (+1 at wait start, -1 at acquisition) turns those intervals into a
+    running waiter count per lock — the "how many cores are piled up on
+    this lock right now" series the scaling report's contention matrix
+    aggregates, but on the trace timeline.
+    """
+    deltas: Dict[str, Counter] = {}
+    for ev in obs.tracer.events(EV_LOCK_CONTEND):
+        waited = int(ev.data.get("wait_cycles", 0))
+        if waited <= 0:
+            continue
+        edges = deltas.setdefault(str(ev.data.get("lock", "?")), Counter())
+        edges[ev.t - waited] += 1
+        edges[ev.t] -= 1
+    events: List[Dict[str, object]] = []
+    for name in sorted(deltas):
+        running = 0
+        for t in sorted(deltas[name]):
+            delta = deltas[name][t]
+            if delta == 0:
+                continue
+            running += delta
+            events.append({
+                "ph": "C", "pid": 0, "tid": 0,
+                "name": f"lock.waiters:{name}",
+                "ts": _ts(t), "args": {"waiters": running},
+            })
+    return events
 
 
 def perfetto_trace(obs, max_requests: Optional[int] = None) -> Dict[str, object]:
@@ -120,6 +159,9 @@ def perfetto_trace(obs, max_requests: Optional[int] = None) -> Dict[str, object]
                 "ph": "C", "pid": 0, "tid": 0, "name": name,
                 "ts": _ts(t), "args": {"value": value},
             })
+
+    # Derived counter tracks: per-lock waiter counts from the trace.
+    events.extend(_lock_waiter_counters(obs))
 
     # Workload phases on a virtual thread.
     phased = False

@@ -14,6 +14,7 @@ import json
 from typing import Iterable, List, Sequence
 
 from repro.hw.cpu import ALL_CATEGORIES
+from repro.obs.scaling import serialized_shares
 from repro.stats.results import RunResult
 
 #: Fixed column order for CSV output.
@@ -21,6 +22,7 @@ BASE_COLUMNS = (
     "scheme", "workload", "units", "payload_bytes", "wall_cycles",
     "busy_cycles", "cores", "throughput_gbps", "cpu_utilization",
     "us_per_unit", "latency_us", "transactions_per_sec",
+    "lock_wait_share", "scaling_serial_fraction",
 )
 
 
@@ -43,6 +45,13 @@ def result_to_row(result: RunResult) -> dict:
                                  if result.transactions_per_sec is not None
                                  else None),
     }
+    # Serialized-share columns (see repro.obs.scaling): the within-run
+    # serial-fraction estimators the regression gate guards, so a
+    # scalability collapse trips CI like a throughput collapse does.
+    lock_wait_share, serial_fraction = serialized_shares(
+        result.breakdown_cycles, result.busy_cycles)
+    row["lock_wait_share"] = round(lock_wait_share, 6)
+    row["scaling_serial_fraction"] = round(serial_fraction, 6)
     for key, value in sorted(result.params.items()):
         row[f"param_{key}"] = value
     breakdown = result.breakdown_us_per_unit()

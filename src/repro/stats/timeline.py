@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Iterable, List
 
 from repro.obs.context import Observability, PhaseRecord
+from repro.obs.locks import LockContentionRecorder, top_edges
 from repro.obs.metrics import CycleHistogram, MetricsRegistry
 from repro.obs.requests import RequestRecord, RequestRecorder
 from repro.obs.spans import SpanNode
@@ -145,6 +146,40 @@ def render_span_tree(root: SpanNode, max_depth: int | None = None) -> str:
     return "\n".join(lines)
 
 
+def render_lock_table(recorder: LockContentionRecorder) -> str:
+    """Per-lock contention table from the ``obs.locks`` recorder.
+
+    One row per lock, ranked by total wait burden: acquisition and
+    contention counts, wait/hold totals, the number of distinct waiting
+    cores, and the busiest waiter→holder hand-off edges.  Single-core
+    runs (every acquisition uncontended) and runs with no lock traffic
+    at all both render without special-casing by the caller.
+    """
+    lines: List[str] = ["== locks =="]
+    ranked = recorder.by_wait()
+    if not ranked:
+        lines.append("  (no lock activity recorded)")
+        return "\n".join(lines)
+    width = max(len(s.name) for s in ranked)
+    for stats in ranked:
+        line = (f"  {stats.name:<{width}}  "
+                f"acq={stats.acquisitions:>7} "
+                f"contended={stats.contended:>6} "
+                f"wait={cycles_to_us(stats.total_wait_cycles):>10.1f}us "
+                f"hold={cycles_to_us(stats.total_hold_cycles):>10.1f}us")
+        if stats.contended:
+            waiters = len(stats.wait_by_core)
+            edges = ", ".join(f"c{w}<-c{h}x{n}" if h >= 0 else f"c{w}<-?x{n}"
+                              for w, h, n in top_edges(stats))
+            line += f"  waiters={waiters}"
+            if edges:
+                line += f"  [{edges}]"
+        lines.append(line)
+    if not any(s.contended for s in ranked):
+        lines.append("  (no contention: every acquisition was uncontended)")
+    return "\n".join(lines)
+
+
 def render_exposure_summary(exposure) -> str:
     """The exposure accountant's totals + recent fault forensics."""
     summary = exposure.summary()
@@ -262,13 +297,15 @@ def render_request_timeline(record: RequestRecord) -> str:
 
 
 def render_observability_report(obs: Observability) -> str:
-    """Trace summary + phase table + span tree + metrics + exposure."""
+    """Trace summary + phases + spans + locks + metrics + exposure."""
     sections = [
         render_trace_summary(obs.tracer),
         render_phase_table(obs.phases),
     ]
     if obs.spans.closed:
         sections.append(render_span_tree(obs.spans.tree()))
+    if obs.locks.locks:
+        sections.append(render_lock_table(obs.locks))
     sections.append(render_metrics_summary(obs.metrics))
     sections.append(render_exposure_summary(obs.exposure))
     if obs.requests.completed:

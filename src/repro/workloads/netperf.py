@@ -111,6 +111,12 @@ def _collect(system: System, cfg_scheme: str, workload: str,
         result.extras["inv_lock_wait_cycles"] = invq.lock.stats.total_wait_cycles
         result.extras["sync_invalidations"] = invq.sync_invalidations
         result.extras["batch_flushes"] = invq.batch_flushes
+        # Hardware-side queueing decomposition the scalability
+        # observatory reads (arrivals + service vs queue delay).
+        hw = invq.hardware
+        result.extras["inv_hw_completions"] = hw.completions
+        result.extras["inv_hw_service_cycles"] = hw.total_service_cycles
+        result.extras["inv_hw_queue_delay_cycles"] = hw.queue_delay_cycles
     samples = getattr(system.dma_api, "window_samples", None)
     if samples:
         result.extras["window_mean_us"] = cycles_to_us(
@@ -121,6 +127,7 @@ def _collect(system: System, cfg_scheme: str, workload: str,
         result.extras["metrics"] = obs.metrics.snapshot()
         result.extras["exposure"] = obs.exposure.summary()
         result.extras["requests"] = obs.requests.summary()
+        result.extras["locks"] = obs.locks.snapshot()
     return result
 
 

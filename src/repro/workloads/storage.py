@@ -181,10 +181,17 @@ def run_storage(cfg: StorageConfig) -> RunResult:
     if hasattr(api, "hybrid_maps"):
         result.extras["hybrid_maps"] = api.hybrid_maps
     if iommu is not None:
-        result.extras["sync_invalidations"] = \
-            iommu.invalidation_queue.sync_invalidations
+        invq = iommu.invalidation_queue
+        result.extras["sync_invalidations"] = invq.sync_invalidations
+        result.extras["inv_lock_wait_cycles"] = \
+            invq.lock.stats.total_wait_cycles
+        hw = invq.hardware
+        result.extras["inv_hw_completions"] = hw.completions
+        result.extras["inv_hw_service_cycles"] = hw.total_service_cycles
+        result.extras["inv_hw_queue_delay_cycles"] = hw.queue_delay_cycles
     if obs.enabled:
         result.extras["metrics"] = obs.metrics.snapshot()
         result.extras["exposure"] = obs.exposure.summary()
         result.extras["requests"] = obs.requests.summary()
+        result.extras["locks"] = obs.locks.snapshot()
     return result

@@ -1,0 +1,148 @@
+"""The ``repro scale`` sweep: determinism, the paper's verdict, gating.
+
+The sweep shares the bench fan-out contract: ``--jobs N`` may only
+change wall-clock, so ``scale.json`` must be byte-identical at any job
+count once :func:`repro.bench.record.stable_view` strips the
+host-dependent fields.  And the headline acceptance claim rides here:
+on the stream workload, strict invalidation must show a much larger
+fitted serial fraction than copy, attributed to the invalidation-queue
+lock.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.record import build_record, stable_view
+from repro.bench.regression import compare_records
+from repro.bench.scale import resolve_cores, resolve_schemes
+from repro.cli import main as cli_main
+
+_SWEEP_ARGS = ["scale", "--workload", "stream",
+               "--schemes", "strict,copy",          # paper aliases resolve
+               "--cores", "1,2,4", "--quick"]
+
+
+def _run_sweep(tmp_path, jobs: int) -> dict:
+    out = tmp_path / f"jobs{jobs}"
+    status = cli_main(_SWEEP_ARGS + ["--jobs", str(jobs),
+                                     "--out", str(out)])
+    assert status == 0
+    with open(out / "scale.json") as fh:
+        record = json.load(fh)
+    # The markdown report rides along under a fixed name.
+    report = (out / "scale.md").read_text()
+    record["_report"] = report
+    return record
+
+
+@pytest.fixture(scope="module")
+def sweeps(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("scale")
+    return {jobs: _run_sweep(tmp_path, jobs) for jobs in (1, 2)}
+
+
+def test_scale_jobs_records_byte_identical(sweeps):
+    views = {}
+    for jobs, record in sweeps.items():
+        record = dict(record)
+        record.pop("_report")
+        views[jobs] = json.dumps(stable_view(record), sort_keys=True)
+    assert views[1] == views[2]
+
+
+def test_scale_reports_byte_identical(sweeps):
+    assert sweeps[1]["_report"] == sweeps[2]["_report"]
+
+
+def test_strict_serial_fraction_dominates_copy(sweeps):
+    """The paper's multicore collapse, quantified: strict's fitted
+    serial fraction is several times copy's, and the contention matrix
+    blames the invalidation-queue lock."""
+    analysis = sweeps[1]["analysis"]
+    strict = analysis["identity-strict"]
+    copy = analysis["copy"]
+    assert strict["fit"]["serial_fraction"] > 3 * (
+        copy["fit"]["serial_fraction"] or 0.0)
+    assert strict["fit"]["serial_fraction"] > 0.3
+    assert strict["top_lock"] == "qi-lock"
+    assert strict["lock_wait_share"] > copy["lock_wait_share"]
+    # The report says so in prose-adjacent markdown.
+    assert "qi-lock" in sweeps[1]["_report"]
+    assert "invalidation-queue decomposition" in sweeps[1]["_report"]
+
+
+def test_scale_record_structure(sweeps):
+    record = sweeps[1]
+    assert record["workload"] == "stream"
+    assert record["cores"] == [1, 2, 4]
+    # Aliases resolved to canonical names, order preserved.
+    assert list(record["points"]) == ["identity-strict", "copy"]
+    for scheme, points in record["points"].items():
+        assert [p["cores"] for p in points] == [1, 2, 4]
+        for point in points:
+            assert point["busy_cycles"] > 0
+            assert 0.0 <= point["scaling_serial_fraction"] <= 1.0
+        assert scheme in record["contention"]
+        assert [r["cores"] for r in record["queueing"][scheme]] == [1, 2, 4]
+    # Strict's invalidation queueing rows carry real traffic.
+    strict_rows = record["queueing"]["identity-strict"]
+    assert all(row["submissions"] > 0 for row in strict_rows)
+    assert record["throughput"]["overall"]["sim_cycles"] > 0
+
+
+# ----------------------------------------------------------------------
+# Argument resolution.
+# ----------------------------------------------------------------------
+def test_resolve_schemes_aliases_and_dedup():
+    assert resolve_schemes(["strict", "identity-strict", "copy"]) \
+        == ["identity-strict", "copy"]
+    with pytest.raises(SystemExit):
+        resolve_schemes(["no-such-scheme"])
+    with pytest.raises(SystemExit):
+        resolve_schemes([])
+
+
+def test_resolve_cores_sorted_unique_positive():
+    assert resolve_cores([4, 1, 2, 2]) == [1, 2, 4]
+    with pytest.raises(SystemExit):
+        resolve_cores([0, 2])
+    with pytest.raises(SystemExit):
+        resolve_cores([])
+
+
+# ----------------------------------------------------------------------
+# The regression gate on the new serialized-share columns.
+# ----------------------------------------------------------------------
+def _record_with_shares(serial: float, lock_wait: float) -> dict:
+    row = {"scheme": "identity-strict", "workload": "stream", "cores": 16,
+           "param_size": 16384, "throughput_gbps": 10.0,
+           "lock_wait_share": lock_wait,
+           "scaling_serial_fraction": serial}
+    figures = {"fig06": {"series": [row]}}
+    return build_record(mode="quick", figures=figures,
+                        schemes=("identity-strict",))
+
+
+def test_gate_trips_on_serial_fraction_growth():
+    baseline = _record_with_shares(serial=0.40, lock_wait=0.30)
+    grown = _record_with_shares(serial=0.55, lock_wait=0.30)  # +37% > 15%
+    regressions = compare_records(baseline, grown)
+    assert [r.metric for r in regressions] == ["scaling_serial_fraction"]
+
+
+def test_gate_tolerates_small_share_shift_and_improvement():
+    baseline = _record_with_shares(serial=0.40, lock_wait=0.30)
+    nudged = _record_with_shares(serial=0.44, lock_wait=0.33)  # within bands
+    assert compare_records(baseline, nudged) == []
+    improved = _record_with_shares(serial=0.10, lock_wait=0.05)
+    assert compare_records(baseline, improved) == []
+
+
+def test_gate_zero_baseline_lock_wait_trips():
+    """A scheme that provably never spun (share exactly 0) starting to
+    spin is a regression regardless of relative bands."""
+    baseline = _record_with_shares(serial=0.0, lock_wait=0.0)
+    spinning = _record_with_shares(serial=0.01, lock_wait=0.01)
+    metrics = sorted(r.metric for r in compare_records(baseline, spinning))
+    assert metrics == ["lock_wait_share", "scaling_serial_fraction"]

@@ -59,4 +59,8 @@ def test_scheme_kwargs_pass_through(make_api):
 
 
 def test_aliases_cover_paper_names():
-    assert set(PAPER_ALIASES) == {"identity+", "identity-"}
+    assert set(PAPER_ALIASES) \
+        == {"identity+", "identity-", "strict", "deferred"}
+    # The prose shorthands mean the identity-mapped modes (§2.2).
+    assert PAPER_ALIASES["strict"] == "identity-strict"
+    assert PAPER_ALIASES["deferred"] == "identity-deferred"

@@ -1,0 +1,129 @@
+"""The per-lock contention matrix: recorder, snapshots, rendering.
+
+The recorder is the data source of the scale report's attribution
+tables, so its invariants are load-bearing: holder attribution must
+survive the release-before-wait host ordering (the ``_last_holder_cid``
+one-slot memory), snapshots must round-trip through JSON, and the text
+renderer must degrade on single-core (uncontended) and empty runs.
+"""
+
+from repro.obs.context import Observability
+from repro.obs.locks import (
+    LockContentionRecorder,
+    LockContentionStats,
+    load_snapshot,
+    top_edges,
+)
+from repro.stats.timeline import render_lock_table
+from repro.workloads.netperf import StreamConfig, run_tcp_stream_rx
+
+
+def _contended_recorder() -> LockContentionRecorder:
+    rec = LockContentionRecorder()
+    # Core 0 takes the lock first (no previous holder), then 1 and 2
+    # queue behind each other.
+    rec.note_acquire("qi", waiter_cid=0, holder_cid=-1, waited=0, now=100)
+    rec.note_release("qi", holder_cid=0, held=50)
+    rec.note_acquire("qi", waiter_cid=1, holder_cid=0, waited=40, now=190)
+    rec.note_release("qi", holder_cid=1, held=50)
+    rec.note_acquire("qi", waiter_cid=2, holder_cid=1, waited=90, now=280)
+    rec.note_release("qi", holder_cid=2, held=50)
+    rec.note_acquire("quiet", waiter_cid=0, holder_cid=-1, waited=0, now=10)
+    rec.note_release("quiet", holder_cid=0, held=5)
+    return rec
+
+
+def test_recorder_accumulates_waits_holds_and_edges():
+    rec = _contended_recorder()
+    qi = rec.get("qi")
+    assert qi.acquisitions == 3
+    assert qi.contended == 2
+    assert qi.total_wait_cycles == 130
+    assert qi.total_hold_cycles == 150
+    assert qi.wait_by_core == {1: 40, 2: 90}
+    assert qi.hold_by_core == {0: 50, 1: 50, 2: 50}
+    assert qi.handoff_edges == {(1, 0): 1, (2, 1): 1}
+    assert qi.max_wait_cycles == 90
+    assert qi.max_wait_core == 2
+    assert qi.max_wait_at == 280
+    assert qi.contention_ratio == 2 / 3
+    assert qi.mean_wait_cycles == 65.0
+    assert rec.total_wait_cycles == 130
+
+
+def test_by_wait_ranks_by_burden_then_name():
+    rec = _contended_recorder()
+    assert [s.name for s in rec.by_wait()] == ["qi", "quiet"]
+
+
+def test_uncontended_acquisitions_leave_no_wait_state():
+    rec = LockContentionRecorder()
+    rec.note_acquire("fast", waiter_cid=0, holder_cid=-1, waited=0, now=1)
+    stats = rec.get("fast")
+    assert stats.contended == 0
+    assert stats.contention_ratio == 0.0
+    assert stats.mean_wait_cycles == 0.0
+    assert not stats.handoff_edges
+
+
+def test_snapshot_round_trips_through_json_types():
+    rec = _contended_recorder()
+    snap = rec.snapshot()
+    # Deterministic ordering by lock name.
+    assert list(snap) == ["qi", "quiet"]
+    # Edge keys serialize as strings ("waiter->holder").
+    assert snap["qi"]["handoff_edges"] == {"1->0": 1, "2->1": 1}
+    loaded = load_snapshot(snap)
+    for name, stats in loaded.items():
+        assert isinstance(stats, LockContentionStats)
+        assert stats.to_dict() == snap[name]
+
+
+def test_top_edges_ranked_by_count():
+    stats = LockContentionStats("l")
+    stats.handoff_edges[(1, 0)] = 5
+    stats.handoff_edges[(2, 0)] = 9
+    stats.handoff_edges[(3, 2)] = 5
+    stats.handoff_edges[(0, 3)] = 1
+    assert top_edges(stats, limit=3) == [(2, 0, 9), (1, 0, 5), (3, 2, 5)]
+
+
+def test_spinlock_attributes_holder_across_release():
+    """End to end through a real contended run: every contended
+    acquisition carries a real previous holder (never the unknown -1),
+    because the lock remembers its last holder across release."""
+    obs = Observability.capture()
+    run_tcp_stream_rx(StreamConfig(
+        scheme="identity-strict", direction="rx", cores=4,
+        message_size=16384, units_per_core=40, warmup_units=10, obs=obs))
+    qi = obs.locks.get("qi-lock")
+    assert qi is not None and qi.contended > 0
+    holders = {holder for (_, holder) in qi.handoff_edges}
+    assert -1 not in holders
+    assert all(0 <= h < 4 for h in holders)
+
+
+# ----------------------------------------------------------------------
+# The text renderer (satellite: empty-input edge cases).
+# ----------------------------------------------------------------------
+def test_render_lock_table_empty_recorder():
+    out = render_lock_table(LockContentionRecorder())
+    assert "(no lock activity recorded)" in out
+
+
+def test_render_lock_table_single_core_uncontended():
+    rec = LockContentionRecorder()
+    for _ in range(3):
+        rec.note_acquire("iova", waiter_cid=0, holder_cid=-1,
+                         waited=0, now=0)
+        rec.note_release("iova", holder_cid=0, held=10)
+    out = render_lock_table(rec)
+    assert "iova" in out
+    assert "(no contention: every acquisition was uncontended)" in out
+
+
+def test_render_lock_table_contended_shows_edges():
+    out = render_lock_table(_contended_recorder())
+    assert "qi" in out and "quiet" in out
+    assert "waiters=2" in out
+    assert "c1<-c0x1" in out

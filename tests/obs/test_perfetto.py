@@ -99,3 +99,44 @@ def test_empty_run_exports_only_metadata():
     trace = perfetto_trace(obs)
     assert trace["otherData"]["requests_exported"] == 0
     assert all(ev["ph"] in ("M", "C") for ev in trace["traceEvents"])
+
+
+def test_lock_waiter_counter_tracks():
+    """``lock.contend`` events become per-lock waiter-count counter
+    tracks: +1 at each wait's start, -1 at its acquisition, so the
+    running value counts simultaneously spinning cores."""
+    obs = Observability.capture(trace_capacity=64)
+    # Two overlapping waits on "qi" (waits [50,100] and [80,120]) and
+    # one on another lock; an uncontended acquire adds no counter.
+    obs.tracer.emit("lock.contend", 100, 1, lock="qi", wait_cycles=50)
+    obs.tracer.emit("lock.contend", 120, 2, lock="qi", wait_cycles=40)
+    obs.tracer.emit("lock.contend", 10, 3, lock="iova", wait_cycles=5)
+    obs.tracer.emit("lock.acquire", 130, 1, lock="qi")
+    counters = [ev for ev in perfetto_trace(obs)["traceEvents"]
+                if ev["ph"] == "C" and ev["name"].startswith("lock.waiters:")]
+    assert {ev["name"] for ev in counters} \
+        == {"lock.waiters:qi", "lock.waiters:iova"}
+    qi = [(ev["ts"], ev["args"]["waiters"]) for ev in counters
+          if ev["name"] == "lock.waiters:qi"]
+    # Cycle endpoints 50, 80, 100, 120 -> waiter counts 1, 2, 1, 0.
+    assert [w for _, w in qi] == [1, 2, 1, 0]
+    assert qi == sorted(qi)
+    iova = [ev["args"]["waiters"] for ev in counters
+            if ev["name"] == "lock.waiters:iova"]
+    assert iova == [1, 0]
+
+
+def test_lock_waiter_counters_from_contended_run():
+    """A real contended run exports a qi-lock waiter track whose
+    running count returns to zero and never goes negative."""
+    # A big enough ring that the contend events survive retention.
+    obs = Observability.capture(trace_capacity=1 << 16)
+    run_tcp_stream_rx(StreamConfig(
+        scheme="identity-strict", direction="rx", message_size=16384,
+        cores=2, units_per_core=40, warmup_units=10, obs=obs))
+    counts = [ev["args"]["waiters"]
+              for ev in perfetto_trace(obs)["traceEvents"]
+              if ev["ph"] == "C" and ev["name"] == "lock.waiters:qi-lock"]
+    assert counts, "the 2-core strict run must contend the qi lock"
+    assert min(counts) >= 0
+    assert counts[-1] == 0

@@ -1,0 +1,217 @@
+"""Serial-fraction models and sweep analysis (repro.obs.scaling).
+
+The fits have closed forms, so the tests can demand exact recovery:
+points generated from Amdahl's law with a known ``s`` must fit back to
+``s``, and a synthetic USL curve must return its own (σ, κ).  The
+degenerate inputs (single-core-only sweeps, zero throughput, empty
+snapshots) must yield Nones and placeholder rows, never exceptions.
+"""
+
+import pytest
+
+from repro.hw.cpu import CAT_INVALIDATE, CAT_MEMCPY, CAT_SPINLOCK
+from repro.obs.scaling import (
+    SchemeScaling,
+    amdahl_fit,
+    amdahl_speedup,
+    analyze_scheme,
+    contention_matrix,
+    fit_models,
+    queueing_rows,
+    render_contention_matrix,
+    render_fit_table,
+    render_queueing_table,
+    render_speedup_table,
+    serialized_shares,
+    speedup_curve,
+    usl_fit,
+    usl_speedup,
+)
+
+CORES = (1, 2, 4, 8, 16, 32)
+
+
+# ----------------------------------------------------------------------
+# Model fits.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("s", [0.0, 0.05, 0.3, 0.8, 1.0])
+def test_amdahl_fit_recovers_exact_curve(s):
+    points = [(n, amdahl_speedup(s, n)) for n in CORES]
+    assert amdahl_fit(points) == pytest.approx(s, abs=1e-9)
+
+
+@pytest.mark.parametrize("sigma,kappa", [(0.0, 0.0), (0.1, 0.0),
+                                         (0.05, 0.01), (0.3, 0.002)])
+def test_usl_fit_recovers_exact_curve(sigma, kappa):
+    points = [(n, usl_speedup(sigma, kappa, n)) for n in CORES]
+    fitted_sigma, fitted_kappa = usl_fit(points)
+    assert fitted_sigma == pytest.approx(sigma, abs=1e-6)
+    assert fitted_kappa == pytest.approx(kappa, abs=1e-6)
+
+
+def test_amdahl_fit_clamps_superlinear_to_zero():
+    # Superlinear speedup implies a negative s; the clamp floors it.
+    assert amdahl_fit([(2, 3.0), (4, 7.0)]) == 0.0
+
+
+def test_fits_degenerate_inputs_return_none():
+    assert amdahl_fit([]) is None
+    assert amdahl_fit([(1, 1.0)]) is None                # no multicore point
+    assert amdahl_fit([(4, 0.0)]) is None                # zero throughput
+    assert usl_fit([(1, 1.0), (2, 1.8)]) is None         # one point: 2 dof
+    assert usl_fit([(2, 1.8), (2, 1.8)]) is None         # not distinct
+    fit = fit_models([(1, 1.0)])
+    assert fit.serial_fraction is None
+    assert fit.usl_sigma is None and fit.usl_kappa is None
+    assert fit.usl_peak_cores is None
+
+
+def test_usl_peak_cores_only_with_positive_kappa():
+    fit = fit_models([(n, usl_speedup(0.1, 0.02, n)) for n in CORES])
+    assert fit.usl_peak_cores == pytest.approx(
+        ((1 - 0.1) / 0.02) ** 0.5, rel=1e-6)
+    flat = fit_models([(n, usl_speedup(0.1, 0.0, n)) for n in CORES])
+    assert flat.usl_peak_cores is None
+
+
+# ----------------------------------------------------------------------
+# Sweep analysis over point dicts.
+# ----------------------------------------------------------------------
+def _point(cores, gbps, spin=0, inval=0, busy=1000, locks=None, inv=None):
+    return {
+        "cores": cores,
+        "throughput_gbps": gbps,
+        "busy_cycles": busy,
+        "breakdown_cycles": {CAT_MEMCPY: busy - spin - inval,
+                             CAT_SPINLOCK: spin, CAT_INVALIDATE: inval},
+        "locks": locks or {},
+        "invalidation": inv or {},
+    }
+
+
+def test_speedup_curve_normalizes_to_smallest_count():
+    curve = speedup_curve([_point(4, 30.0), _point(1, 10.0),
+                           _point(2, 20.0)])
+    assert curve == [(1, 1.0), (2, 2.0), (4, 3.0)]
+
+
+def test_speedup_curve_rescales_multicore_baseline():
+    # Baseline at 2 cores: assume perfect scaling below the measured
+    # range, so S(2) = 2, keeping the N=1-anchored fits applicable.
+    curve = speedup_curve([_point(2, 10.0), _point(4, 15.0)])
+    assert curve == [(2, 2.0), (4, 3.0)]
+
+
+def test_speedup_curve_zero_baseline_throughput():
+    assert speedup_curve([_point(1, 0.0), _point(2, 5.0)]) \
+        == [(1, 0.0), (2, 0.0)]
+    assert speedup_curve([]) == []
+
+
+def test_serialized_shares():
+    shares = serialized_shares({CAT_SPINLOCK: 200, CAT_INVALIDATE: 100,
+                                CAT_MEMCPY: 700}, 1000)
+    assert shares == (0.2, 0.3)
+    assert serialized_shares({}, 0) == (0.0, 0.0)
+
+
+def _lock_snap(name, wait, by_core):
+    return {name: {"name": name, "acquisitions": 10, "contended": 5,
+                   "total_wait_cycles": wait, "total_hold_cycles": 100,
+                   "wait_by_core": by_core, "hold_by_core": {},
+                   "acquisitions_by_core": {}, "handoff_edges": {"1->0": 5},
+                   "max_wait_cycles": wait, "max_wait_at": 0,
+                   "max_wait_core": 1}}
+
+
+def test_analyze_scheme_attributes_top_lock_at_widest_point():
+    points = [
+        _point(1, 10.0),
+        _point(2, 15.0, spin=100,
+               locks={**_lock_snap("qi", 400, {"1": 400}),
+                      **_lock_snap("iova", 900, {"1": 900})}),
+        _point(4, 18.0, spin=300, inval=100,
+               locks={**_lock_snap("qi", 5000, {"1": 5000}),
+                      **_lock_snap("iova", 200, {"1": 200})}),
+    ]
+    analysis = analyze_scheme("identity-strict", points)
+    # Shares come from the widest (4-core) point only.
+    assert analysis.lock_wait_share == pytest.approx(0.3)
+    assert analysis.serial_fraction_measured == pytest.approx(0.4)
+    # ... and so does the lock ranking: qi wins at 4 cores even though
+    # iova led at 2.
+    assert analysis.top_lock == "qi"
+    assert analysis.top_lock_wait_cycles == 5000
+    assert analysis.top_lock_wait_share == pytest.approx(5000 / 5200)
+    assert analysis.fit.serial_fraction is not None
+
+
+def test_analyze_scheme_without_contention_has_no_top_lock():
+    analysis = analyze_scheme("copy", [_point(1, 10.0), _point(2, 19.0)])
+    assert analysis.top_lock is None
+    assert analysis.top_lock_wait_cycles == 0
+
+
+def test_contention_matrix_tracks_wait_growth_across_counts():
+    points = [
+        _point(1, 10.0),
+        _point(2, 15.0, locks=_lock_snap("qi", 400, {"1": 400})),
+        _point(4, 18.0, locks=_lock_snap("qi", 5000, {"1": 3000,
+                                                      "2": 2000})),
+    ]
+    (row,) = contention_matrix(points)
+    assert row["lock"] == "qi"
+    assert row["wait_cycles_by_cores"] == {1: 0, 2: 400, 4: 5000}
+    assert row["widest_cores"] == 4
+    assert row["waiting_cores"] == 2
+    assert row["top_edges"] == [{"waiter": 1, "holder": 0, "count": 5}]
+    assert contention_matrix([]) == []
+
+
+def test_queueing_rows_sorted_with_zero_defaults():
+    rows = queueing_rows([
+        _point(4, 1.0, inv={"submissions": 40, "arrival_rate_per_us": 0.5,
+                            "mean_service_cycles": 1500.0,
+                            "mean_queue_delay_cycles": 10.0,
+                            "queue_depth_mean": 1.2, "queue_depth_max": 3}),
+        _point(1, 1.0),
+    ])
+    assert [r["cores"] for r in rows] == [1, 4]
+    assert rows[0]["submissions"] == 0
+    assert rows[1]["queue_depth_max"] == 3
+
+
+# ----------------------------------------------------------------------
+# Renderers: empty inputs degrade to placeholder lines.
+# ----------------------------------------------------------------------
+def test_renderers_handle_empty_inputs():
+    assert render_speedup_table([]) == ["(no sweep data)"]
+    assert render_fit_table([]) == ["(no sweep data)"]
+    assert render_contention_matrix([]) == ["(no lock contention recorded)"]
+    assert render_queueing_table([]) == ["(no invalidation traffic recorded)"]
+
+
+def test_render_contention_matrix_drops_zero_wait_locks():
+    rows = contention_matrix([_point(1, 10.0), _point(2, 20.0)])
+    assert render_contention_matrix(rows) \
+        == ["(no lock contention recorded)"]
+
+
+def test_render_fit_table_ranks_worst_serial_fraction_first():
+    bad = analyze_scheme("identity-strict", [
+        _point(n, amdahl_speedup(0.6, n) * 10.0) for n in (1, 2, 4)])
+    good = analyze_scheme("copy", [
+        _point(n, amdahl_speedup(0.05, n) * 10.0) for n in (1, 2, 4)])
+    lines = render_fit_table([good, bad])
+    strict_row = next(i for i, line in enumerate(lines)
+                      if "identity-strict" in line)
+    copy_row = next(i for i, line in enumerate(lines) if "| copy |" in line)
+    assert strict_row < copy_row
+
+
+def test_render_single_core_only_sweep():
+    """A one-point 'sweep' renders dashes, not crashes."""
+    analysis = analyze_scheme("copy", [_point(1, 10.0)])
+    lines = render_fit_table([analysis])
+    assert any("| - |" in line or "| copy | -" in line for line in lines)
+    assert isinstance(SchemeScaling(scheme="x").to_dict(), dict)

@@ -59,11 +59,31 @@ def test_traced_stream_identical_under_contention():
     cfg = dict(scheme="identity-strict", direction="rx", cores=2,
                message_size=16384, units_per_core=60, warmup_units=15)
     bare = run_tcp_stream_rx(StreamConfig(**cfg))
-    traced = run_tcp_stream_rx(StreamConfig(
-        **cfg, obs=Observability.capture()))
+    obs = Observability.capture()
+    traced = run_tcp_stream_rx(StreamConfig(**cfg, obs=obs))
     assert traced.wall_cycles == bare.wall_cycles
     assert traced.busy_cycles == bare.busy_cycles
     assert traced.breakdown_cycles == bare.breakdown_cycles
+    # The contention-matrix and queue-depth hooks (obs.locks, the
+    # invalidation.queue_depth series) observed the same run for free.
+    qi = obs.locks.get("qi-lock")
+    assert qi is not None and qi.contended > 0
+    assert qi.total_wait_cycles > 0
+    assert sum(qi.handoff_edges.values()) == qi.contended
+    depth = obs.metrics.time_series["invalidation.queue_depth"]
+    assert depth.summary()["samples"] > 0
+
+
+def test_lock_contention_null_run_records_nothing():
+    """With the null context the contention-matrix note sites never
+    fire — obs.locks stays empty."""
+    null_obs = Observability(tracer=NullTracer())
+    run_tcp_stream_rx(StreamConfig(
+        scheme="identity-strict", direction="rx", cores=2,
+        message_size=16384, units_per_core=40, warmup_units=10,
+        obs=null_obs))
+    assert null_obs.locks.locks == {}
+    assert null_obs.locks.total_wait_cycles == 0
 
 
 def test_exposure_accounting_is_cycle_identical():

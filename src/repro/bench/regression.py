@@ -54,6 +54,15 @@ DEFAULT_TOLERANCES: Dict[str, Tuple[bool, float]] = {
     # provably zero (no-iommu, single-core) starting to spin trips.
     "lock_wait_share": (False, 0.20),
     "scaling_serial_fraction": (False, 0.15),
+    # Fleet capacity (repro.bench.fleet): max sustained users at the SLO
+    # objective.  The search bisects to a coarse relative tolerance, so
+    # the band absorbs one bisection step either way; a capacity that
+    # drops past 25% of baseline is a real knee shift.  Breach windows
+    # at the capacity point are zero by construction, so the
+    # zero-baseline rule does the guarding: any breach appearing where
+    # the baseline had none trips the gate.
+    "fleet_capacity_users": (True, 0.25),
+    "slo_breach_windows": (False, 0.5),
     # Simulator speed (record["throughput"], not a series metric): the
     # only wall-clock-based number in the record, so the band must absorb
     # host variance between the baseline machine and the gating machine.

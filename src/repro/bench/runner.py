@@ -408,6 +408,12 @@ def _storage_build(scale: BenchScale) -> dict:
                         "\n".join(lines))
 
 
+def _fleet_build(scale: BenchScale) -> dict:
+    # Lazy import: repro.bench.fleet imports this module's helpers.
+    from repro.bench.fleet import build_fleet_figure
+    return build_fleet_figure()
+
+
 #: The registry, in the paper's figure order.
 FIGURES: Tuple[FigureSpec, ...] = (
     FigureSpec("fig01", _FIG01_TITLE, _fig01_build),
@@ -425,6 +431,7 @@ FIGURES: Tuple[FigureSpec, ...] = (
     FigureSpec("fig10", "Figure 10: TCP_RR CPU breakdown", _fig10_build),
     FigureSpec("fig11", "Figure 11: memcached", _fig11_build),
     FigureSpec("storage", "Storage block I/O", _storage_build),
+    FigureSpec("fleet", "Fleet capacity at the SLO", _fleet_build),
 )
 
 FIGURE_NAMES = tuple(spec.name for spec in FIGURES)

@@ -33,11 +33,11 @@ accepted by ``python -m repro chaos --plan``::
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..seeding import derive_seed
 
 # ----------------------------------------------------------------------
 # Injection sites (stable schema — docs/faults.md documents each).
@@ -59,13 +59,13 @@ ALL_SITES = (
 def site_seed(seed: int, site: str) -> int:
     """Stable per-site sub-seed.
 
-    Derived with sha256 rather than ``hash()`` so the schedule survives
-    interpreter restarts and ``PYTHONHASHSEED`` randomisation — the
-    determinism tests compare JSONL traces byte-for-byte across
-    processes.
+    Delegates to :func:`repro.seeding.derive_seed` — the shared sha256
+    scheme every randomized subsystem uses — with the site name as the
+    stream label, so fault schedules survive interpreter restarts and
+    ``PYTHONHASHSEED`` randomisation (the determinism tests compare
+    JSONL traces byte-for-byte across processes).
     """
-    digest = hashlib.sha256(f"{seed}:{site}".encode()).digest()
-    return int.from_bytes(digest[:8], "big")
+    return derive_seed(seed, site)
 
 
 @dataclass(frozen=True)

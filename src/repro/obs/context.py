@@ -20,6 +20,7 @@ from repro.obs.exposure import ExposureAccountant
 from repro.obs.locks import LockContentionRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.requests import RequestRecorder
+from repro.obs.slo import SloRecorder
 from repro.obs.spans import SpanRecorder
 from repro.obs.trace import EV_PHASE, NullTracer, RingTracer
 
@@ -63,6 +64,12 @@ class Observability:
         #: holder cycles by core, waiter→holder hand-off edges.  Feeds
         #: the scalability observatory's contention attribution.
         self.locks = LockContentionRecorder()
+        #: Streaming SLO telemetry (see repro.obs.slo): tumbling windows
+        #: of request latency judged against an objective, with breach
+        #: forensics drawn from the span and lock recorders.  Inert
+        #: until a workload calls ``obs.slo.configure(objective)``.
+        self.slo = SloRecorder(metrics=self.metrics, spans=self.spans,
+                               locks=self.locks)
         #: Master switch instrumented hot paths guard on.  Disabled means
         #: neither events, metrics, spans, nor exposure are recorded.
         self.enabled = enabled and self.tracer.enabled
@@ -70,12 +77,14 @@ class Observability:
         if self.enabled:
             # Wire the request recorder into the rest of the layer:
             # spans feed it stages, the tracer stamps events with the
-            # active rid, and fault forensics can name in-flight rids.
+            # active rid, fault forensics can name in-flight rids, and
+            # completed requests stream into the SLO windows.
             self.spans.listener = self.requests
             self.requests.tracer = self.tracer
             if hasattr(self.tracer, "rid_of"):
                 self.tracer.rid_of = self.requests.current_rid
             self.exposure.requests = self.requests
+            self.requests.listener = self.slo
 
     # ------------------------------------------------------------------
     @classmethod

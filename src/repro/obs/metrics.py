@@ -41,9 +41,11 @@ class CycleHistogram:
 
     Keeps exact count/sum/min/max plus power-of-two buckets — enough for
     meaningful percentile estimates of latency distributions without
-    storing samples.  ``percentile`` answers from bucket upper bounds,
-    so estimates are conservative (never below the true value by more
-    than one bucket width).
+    storing samples.  ``percentile`` interpolates linearly *within* the
+    bucket holding the requested rank (clamped to the exact observed
+    min/max), so estimates stay inside one bucket width of the truth
+    without the systematic upper-bound bias coarse log2 buckets would
+    otherwise impose on p50/p99.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "buckets")
@@ -72,7 +74,13 @@ class CycleHistogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> int:
-        """Upper-bound estimate of the ``p``-th percentile (0 < p <= 100)."""
+        """Interpolated estimate of the ``p``-th percentile (0 < p <= 100).
+
+        Finds the bucket holding the requested rank, interpolates
+        linearly within its ``(lower, upper]`` span, and clamps to the
+        exact observed min/max so single-bucket distributions report
+        the true value rather than a power of two.
+        """
         if not 0.0 < p <= 100.0:
             raise ValueError(f"percentile {p} out of (0, 100]")
         if not self.count:
@@ -80,9 +88,17 @@ class CycleHistogram:
         threshold = self.count * p / 100.0
         cumulative = 0
         for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if cumulative + n >= threshold:
+                lower = 0 if i == 0 else 1 << (i - 1)
+                upper = 1 << i
+                frac = (threshold - cumulative) / n
+                value = lower + frac * (upper - lower)
+                lo = self.min if self.min is not None else 0
+                hi = self.max if self.max is not None else upper
+                return int(min(max(value, lo), hi))
             cumulative += n
-            if cumulative >= threshold:
-                return min(1 << i, self.max if self.max is not None else 1 << i)
         return self.max or 0
 
     def nonzero_buckets(self) -> List[Tuple[int, int]]:

@@ -1,0 +1,349 @@
+"""Streaming SLO telemetry: windowed latency objectives over a run.
+
+The rest of :mod:`repro.obs` answers "where did the cycles go"; this
+module answers the operator's question instead: *is the service meeting
+its objective, and when it is not, why not?*  An
+:class:`SloObjective` states the contract (``p99 <= N us`` within each
+window, an availability floor); the :class:`SloRecorder` listens to
+completed requests (via :class:`~repro.obs.requests.RequestRecorder`'s
+listener hook), folds them into **tumbling windows of simulated
+cycles**, and closes each window into a verdict: goodput, timeouts,
+drops, interpolated p99 (reusing
+:class:`~repro.obs.metrics.CycleHistogram`), availability, and the
+error-budget **burn rate** (bad fraction over the budget the objective
+leaves, so burn rate 1.0 consumes the budget exactly at the sustainable
+pace and 10.0 exhausts it ten times too fast).
+
+Windows are attributed by request **end** time: a request straddling a
+window edge counts in the window it completed in, windows with no
+traffic close empty (and never breach), and completions that arrive for
+an already-closed window are counted as ``late_completions`` rather
+than rewriting history — the series stays append-only and deterministic.
+
+When a window breaches, the recorder snapshots **forensics**: it diffs
+the span trie's per-path self-cycles and the lock recorder's per-lock
+wait cycles against the previous window boundary, and names the
+dominant span path and the top contended lock *of that window* — the
+"why" next to the "what".  ``slo.p99_window`` and ``slo.burn_rate``
+are also sampled into the metrics registry's time series, which the
+Perfetto exporter turns into counter tracks automatically.
+
+Design constraints, shared with the rest of the layer:
+
+* **Zero simulated overhead.**  Recording reads request records and
+  core clocks only; it never charges cycles (the zero-overhead test
+  covers an SLO-enabled run).
+* **Guarded write sites.**  The recorder only receives requests when
+  the context is enabled (the listener is wired in
+  :class:`~repro.obs.context.Observability`), and it stays inert until
+  :meth:`SloRecorder.configure` states an objective.
+* **Bounded memory.**  One open window at a time; closed windows are
+  compact dicts, forensics are capped at :data:`_MAX_FORENSICS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import CycleHistogram
+from repro.obs.requests import _CYCLES_PER_US, cycles_to_us
+
+#: Breach forensics retained (append-only, earliest breaches win — the
+#: first breach is the capacity verdict; later ones repeat the story).
+_MAX_FORENSICS = 32
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective: a latency target within windows.
+
+    ``p99_us`` is the per-window latency objective; ``availability`` the
+    floor on good completions over offered requests (completions +
+    drops); ``window_us`` the tumbling-window width in simulated
+    microseconds; ``timeout_us`` (optional) the per-request deadline —
+    requests slower than it count as timeouts (bad), like a client
+    giving up.
+    """
+
+    p99_us: float
+    availability: float = 0.999
+    window_us: float = 200.0
+    timeout_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.p99_us <= 0:
+            raise ConfigurationError(
+                f"SLO p99 objective must be positive: {self.p99_us}")
+        if not 0.0 < self.availability < 1.0:
+            raise ConfigurationError(
+                f"availability floor must be in (0, 1): {self.availability}")
+        if self.window_us <= 0:
+            raise ConfigurationError(
+                f"SLO window must be positive: {self.window_us}")
+        if self.timeout_us is not None and self.timeout_us <= 0:
+            raise ConfigurationError(
+                f"timeout must be positive: {self.timeout_us}")
+
+    @property
+    def window_cycles(self) -> int:
+        return max(1, int(round(self.window_us * _CYCLES_PER_US)))
+
+    @property
+    def timeout_cycles(self) -> Optional[int]:
+        if self.timeout_us is None:
+            return None
+        return int(round(self.timeout_us * _CYCLES_PER_US))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "p99_us": self.p99_us,
+            "availability": self.availability,
+            "window_us": self.window_us,
+            "timeout_us": self.timeout_us,
+        }
+
+
+class SloRecorder:
+    """Tumbling-window SLO accounting hung off ``obs.slo``.
+
+    Constructed unconditionally (like ``obs.exposure``) but inert until
+    :meth:`configure` states an objective — typically right after the
+    warmup phase, so only measured traffic is windowed.
+    """
+
+    def __init__(self, metrics=None, spans=None, locks=None) -> None:
+        self.metrics = metrics
+        self.spans = spans
+        self.locks = locks
+        self.objective: Optional[SloObjective] = None
+        self.origin = 0
+        self.windows: List[Dict[str, object]] = []
+        self.breach_windows = 0
+        self.forensics: List[Dict[str, object]] = []
+        self.late_completions = 0
+        self.total_completions = 0
+        self.total_timeouts = 0
+        self.total_drops = 0
+        self._index = 0
+        self._hist = CycleHistogram("slo.window_latency")
+        self._completions = 0
+        self._timeouts = 0
+        self._drops = 0
+        self._span_prev: Dict[str, int] = {}
+        self._lock_prev: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def configure(self, objective: SloObjective, start: int = 0) -> None:
+        """Arm the recorder: window traffic from ``start`` onward."""
+        self.objective = objective
+        self.origin = start
+        self._index = 0
+        self._span_prev = self._span_snapshot()
+        self._lock_prev = self._lock_snapshot()
+
+    @property
+    def armed(self) -> bool:
+        return self.objective is not None
+
+    def _window_index(self, t: int) -> int:
+        return (t - self.origin) // self.objective.window_cycles
+
+    # ------------------------------------------------------------------
+    # Recording (RequestRecorder listener hook + drop accounting).
+    # ------------------------------------------------------------------
+    def on_request(self, record) -> None:
+        """Fold one completed request into its end-time window.
+
+        The SLO latency is the request's service latency plus any
+        ``queue_wait`` its opener noted in the request meta — open-loop
+        workloads pass the cycles a request waited past its intended
+        arrival, so queueing delay (the thing that explodes past the
+        capacity knee) is part of what the objective judges.
+        """
+        if self.objective is None:
+            return
+        end = record.end
+        if end < self.origin:
+            return
+        index = self._window_index(end)
+        if index < self._index:
+            self.late_completions += 1
+            return
+        while self._index < index:
+            self._close_window()
+        latency = record.latency + int(record.meta.get("queue_wait", 0))
+        self._hist.observe(latency)
+        self._completions += 1
+        timeout = self.objective.timeout_cycles
+        if timeout is not None and latency > timeout:
+            self._timeouts += 1
+
+    def note_drop(self, t: int, n: int = 1) -> None:
+        """Count ``n`` shed/refused arrivals at time ``t`` (bad events)."""
+        if self.objective is None or t < self.origin:
+            return
+        index = self._window_index(t)
+        if index < self._index:
+            return
+        while self._index < index:
+            self._close_window()
+        self._drops += n
+
+    def finalize(self, t: int) -> None:
+        """Close every window through time ``t`` (the partial last one
+        included), so the series covers the whole measured phase."""
+        if self.objective is None or t < self.origin:
+            return
+        last = self._window_index(t)
+        while self._index <= last:
+            self._close_window()
+
+    # ------------------------------------------------------------------
+    # Window close: verdict + forensics.
+    # ------------------------------------------------------------------
+    def _span_snapshot(self) -> Dict[str, int]:
+        if self.spans is None:
+            return {}
+        snap: Dict[str, int] = {}
+        for path, node in self.spans.tree().walk():
+            if len(path) <= 1:      # skip the synthetic "run" root
+                continue
+            snap[" > ".join(path[1:])] = node.self_cycles
+        return snap
+
+    def _lock_snapshot(self) -> Dict[str, int]:
+        if self.locks is None:
+            return {}
+        return {name: stats.total_wait_cycles
+                for name, stats in self.locks.locks.items()}
+
+    @staticmethod
+    def _top_delta(now: Dict[str, int],
+                   prev: Dict[str, int]) -> Tuple[Optional[str], int]:
+        best, best_delta = None, 0
+        for name in sorted(now):
+            delta = now[name] - prev.get(name, 0)
+            if delta > best_delta:
+                best, best_delta = name, delta
+        return best, best_delta
+
+    @classmethod
+    def _top_span_delta(cls, now: Dict[str, int],
+                        prev: Dict[str, int]) -> Tuple[Optional[str], int]:
+        """Dominant span path over the window, preferring nested paths.
+
+        A top-level span's self-cycles are mostly scheduler/pacing time
+        (open-loop workloads idle inside ``step`` waiting for the next
+        arrival), so forensics first look for the hottest *nested* path
+        — the one that reads like an attribution ("step > rx_packet >
+        dma_unmap > iotlb_invalidate") — and only fall back to
+        top-level spans when nothing nested moved.
+        """
+        nested = {p: c for p, c in now.items() if " > " in p}
+        best, best_delta = cls._top_delta(nested, prev)
+        if best is not None:
+            return best, best_delta
+        return cls._top_delta(now, prev)
+
+    def _close_window(self) -> None:
+        objective = self.objective
+        window_cycles = objective.window_cycles
+        start = self.origin + self._index * window_cycles
+        end = start + window_cycles
+        offered = self._completions + self._drops
+        good = self._completions - self._timeouts
+        p99_cycles = self._hist.percentile(99) if self._completions else 0
+        p99_us = cycles_to_us(p99_cycles)
+        availability = good / offered if offered else 1.0
+        bad_fraction = ((self._timeouts + self._drops) / offered
+                        if offered else 0.0)
+        budget = 1.0 - objective.availability
+        burn_rate = bad_fraction / budget if budget > 0 else 0.0
+        breach = ((self._completions > 0 and p99_us > objective.p99_us)
+                  or availability < objective.availability)
+        row = {
+            "window": self._index,
+            "start_cycles": start,
+            "end_cycles": end,
+            "completions": self._completions,
+            "good": good,
+            "timeouts": self._timeouts,
+            "drops": self._drops,
+            "p99_us": round(p99_us, 3),
+            "availability": round(availability, 6),
+            "burn_rate": round(burn_rate, 4),
+            "breach": breach,
+        }
+        self.windows.append(row)
+        self.total_completions += self._completions
+        self.total_timeouts += self._timeouts
+        self.total_drops += self._drops
+        if self.metrics is not None:
+            self.metrics.series("slo.p99_window").sample(end,
+                                                         int(p99_cycles))
+            self.metrics.series("slo.burn_rate").sample(
+                end, round(burn_rate, 4))
+        # Forensics: diff span/lock cumulatives over this window, so a
+        # breach names where the cycles and the waiting went *now*, not
+        # since the start of the run.
+        span_now = self._span_snapshot()
+        lock_now = self._lock_snapshot()
+        if breach:
+            self.breach_windows += 1
+            if len(self.forensics) < _MAX_FORENSICS:
+                span_path, span_cycles = self._top_span_delta(
+                    span_now, self._span_prev)
+                lock_name, lock_cycles = self._top_delta(lock_now,
+                                                         self._lock_prev)
+                self.forensics.append({
+                    "window": self._index,
+                    "start_us": round(cycles_to_us(start), 3),
+                    "end_us": round(cycles_to_us(end), 3),
+                    "p99_us": row["p99_us"],
+                    "availability": row["availability"],
+                    "completions": self._completions,
+                    "timeouts": self._timeouts,
+                    "drops": self._drops,
+                    "burn_rate": row["burn_rate"],
+                    "dominant_span_path": span_path,
+                    "dominant_span_cycles": span_cycles,
+                    "top_lock": lock_name,
+                    "top_lock_wait_cycles": lock_cycles,
+                })
+        self._span_prev = span_now
+        self._lock_prev = lock_now
+        self._index += 1
+        self._hist = CycleHistogram("slo.window_latency")
+        self._completions = 0
+        self._timeouts = 0
+        self._drops = 0
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly aggregate (rides in ``extras['slo']``)."""
+        if self.objective is None:
+            return {"armed": False}
+        closed = self.windows
+        worst_p99 = max((w["p99_us"] for w in closed), default=0.0)
+        min_avail = min((w["availability"] for w in closed), default=1.0)
+        max_burn = max((w["burn_rate"] for w in closed), default=0.0)
+        return {
+            "armed": True,
+            "objective": self.objective.to_dict(),
+            "windows": len(closed),
+            "breach_windows": self.breach_windows,
+            "late_completions": self.late_completions,
+            "completions": self.total_completions,
+            "timeouts": self.total_timeouts,
+            "drops": self.total_drops,
+            "worst_p99_us": round(worst_p99, 3),
+            "min_availability": round(min_avail, 6),
+            "max_burn_rate": round(max_burn, 4),
+            "forensics": list(self.forensics),
+        }

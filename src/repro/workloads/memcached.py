@@ -26,6 +26,7 @@ from repro.obs.requests import REQ_MEMCACHED
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, GeneratorTask, Scheduler
 from repro.sim.units import CPU_FREQ_HZ
+from repro.seeding import derive_seed
 from repro.stats.results import RunResult
 from repro.net.packets import build_frame
 from repro.workloads.netperf import _build_system, _collect, StreamConfig
@@ -96,7 +97,6 @@ def run_memcached(cfg: MemcachedConfig) -> RunResult:
     machine, cost = system.machine, system.cost
 
     stores = [KeyValueStore() for _ in range(cfg.cores)]
-    rng = random.Random(cfg.seed)
     key_space = [f"key-{i:08d}".encode().ljust(cfg.key_size, b"k")
                  for i in range(cfg.keys)]
     value = bytes(range(256)) * (cfg.value_size // 256 + 1)
@@ -126,7 +126,8 @@ def run_memcached(cfg: MemcachedConfig) -> RunResult:
             self.next_arrival = 0.0
             self.rng = random.Random(seed)
 
-    states = {c.cid: _State(cfg.seed ^ c.cid) for c in machine.cores}
+    states = {c.cid: _State(derive_seed(cfg.seed, "memcached", c.cid))
+              for c in machine.cores}
     measuring = {"on": False}
     totals = {"units": 0, "bytes": 0}
 

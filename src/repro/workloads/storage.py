@@ -33,6 +33,7 @@ from repro.obs.requests import REQ_STORAGE
 from repro.sim.costmodel import CostModel
 from repro.sim.engine import UNIT_DONE, GeneratorTask, Scheduler
 from repro.sim.units import CPU_FREQ_HZ, PAGE_SIZE, us_to_cycles
+from repro.seeding import derive_seed
 from repro.stats.results import RunResult
 
 #: Intel DC-series figures quoted by §5.5.
@@ -104,7 +105,7 @@ def run_storage(cfg: StorageConfig) -> RunResult:
     totals = {"units": 0, "bytes": 0}
 
     def worker(core: Core, limit: int):
-        rng = random.Random(cfg.seed ^ core.cid)
+        rng = random.Random(derive_seed(cfg.seed, "storage", core.cid))
         buf = buffers[core.cid]
         done = 0
         next_arrival = float(core.now)

@@ -36,17 +36,32 @@ def test_histogram_buckets_are_log2_upper_bounds():
     assert dict(hist.nonzero_buckets()) == {1: 2, 2: 1, 128: 1}
 
 
-def test_histogram_percentiles_are_upper_bounds():
+def test_histogram_percentiles_interpolate_within_buckets():
     hist = CycleHistogram("lat")
     for _ in range(99):
-        hist.observe(100)          # bucket upper bound 128
-    hist.observe(1000)             # bucket upper bound 1024
-    assert hist.percentile(50) == 128
+        hist.observe(100)          # bucket (64, 128]
+    hist.observe(1000)             # bucket (512, 1024]
+    # p50 interpolates to ~96 inside (64, 128], then clamps up to the
+    # observed min — closer to the true 100 than the old bucket upper
+    # bound (128) ever was.
+    assert hist.percentile(50) == 100
     assert hist.percentile(99) == 128
     # The top percentile is clamped to the exact observed max.
     assert hist.percentile(100) == 1000
     with pytest.raises(ValueError):
         hist.percentile(0)
+
+
+def test_histogram_percentiles_match_uniform_distribution():
+    # Uniform 1..1024 fills every log2 bucket exactly: the cumulative
+    # count through bucket i is 2**i, so interpolation lands on exact
+    # ranks — a regression pin for the within-bucket math.
+    hist = CycleHistogram("lat")
+    for v in range(1, 1025):
+        hist.observe(v)
+    assert hist.percentile(50) == 512
+    assert hist.percentile(25) == 256
+    assert hist.percentile(100) == 1024
 
 
 def test_histogram_rejects_negative_values():

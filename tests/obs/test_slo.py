@@ -1,0 +1,243 @@
+"""SLO window semantics: attribution, verdicts, forensics.
+
+The tumbling-window contract the fleet observatory is built on:
+requests land in the window their **end** time falls in (straddlers
+count where they completed), empty windows close non-breaching, late
+completions never rewrite closed windows, and breach forensics name a
+*nested* span path plus the top contended lock of that window.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.requests import _CYCLES_PER_US
+from repro.obs.slo import SloObjective, SloRecorder
+
+#: A 100 us window at the simulated clock rate.
+_W = SloObjective(p99_us=10.0, window_us=100.0).window_cycles
+
+
+def _req(end, latency, **meta):
+    """A stand-in for a completed RequestRecord (duck-typed)."""
+    return SimpleNamespace(end=end, latency=latency, meta=meta)
+
+
+def _recorder(objective=None, **kwargs):
+    rec = SloRecorder(**kwargs)
+    rec.configure(objective or SloObjective(p99_us=10.0, window_us=100.0))
+    return rec
+
+
+# ----------------------------------------------------------------------
+# Objective validation + unit conversion.
+# ----------------------------------------------------------------------
+def test_objective_validates():
+    with pytest.raises(ConfigurationError):
+        SloObjective(p99_us=0)
+    with pytest.raises(ConfigurationError):
+        SloObjective(p99_us=10, availability=1.0)
+    with pytest.raises(ConfigurationError):
+        SloObjective(p99_us=10, window_us=0)
+    with pytest.raises(ConfigurationError):
+        SloObjective(p99_us=10, timeout_us=-1)
+
+
+def test_objective_cycle_conversion():
+    obj = SloObjective(p99_us=10.0, window_us=100.0, timeout_us=50.0)
+    assert obj.window_cycles == int(round(100.0 * _CYCLES_PER_US))
+    assert obj.timeout_cycles == int(round(50.0 * _CYCLES_PER_US))
+    assert SloObjective(p99_us=10.0).timeout_cycles is None
+
+
+# ----------------------------------------------------------------------
+# Window attribution.
+# ----------------------------------------------------------------------
+def test_unconfigured_recorder_is_inert():
+    rec = SloRecorder()
+    rec.on_request(_req(end=100, latency=50))
+    rec.note_drop(100)
+    rec.finalize(10 * _W)
+    assert rec.windows == []
+    assert rec.summary() == {"armed": False}
+
+
+def test_straddling_request_counts_in_its_end_window():
+    rec = _recorder()
+    # Started in window 0, completed in window 1: the whole request is
+    # window 1's problem.
+    rec.on_request(_req(end=_W + 10, latency=_W))
+    rec.finalize(2 * _W)
+    assert [w["completions"] for w in rec.windows] == [0, 1, 0]
+
+
+def test_empty_windows_close_non_breaching():
+    rec = _recorder()
+    rec.on_request(_req(end=3 * _W + 1, latency=5))
+    rec.finalize(3 * _W + 1)
+    assert len(rec.windows) == 4
+    for window in rec.windows[:3]:
+        assert window["completions"] == 0
+        assert window["availability"] == 1.0
+        assert not window["breach"]
+    assert rec.windows[3]["completions"] == 1
+    assert rec.breach_windows == 0
+
+
+def test_late_completion_never_rewrites_closed_windows():
+    rec = _recorder()
+    rec.on_request(_req(end=2 * _W + 1, latency=5))   # closes 0 and 1
+    before = [dict(w) for w in rec.windows]
+    rec.on_request(_req(end=10, latency=5))           # window 0: closed
+    assert rec.windows == before
+    assert rec.late_completions == 1
+    rec.finalize(2 * _W + 1)
+    assert rec.summary()["late_completions"] == 1
+
+
+def test_requests_before_origin_are_ignored():
+    rec = SloRecorder()
+    rec.configure(SloObjective(p99_us=10.0, window_us=100.0),
+                  start=5 * _W)
+    rec.on_request(_req(end=_W, latency=5))           # warmup traffic
+    rec.note_drop(_W)
+    rec.finalize(6 * _W)
+    assert len(rec.windows) == 2                      # windows 0..1 only
+    assert rec.windows[0]["completions"] == 0
+    assert rec.summary()["completions"] == 0
+
+
+# ----------------------------------------------------------------------
+# Verdicts: latency, availability, timeouts, burn rate.
+# ----------------------------------------------------------------------
+def test_p99_breach_trips_window():
+    rec = _recorder()                                  # p99 <= 10 us
+    slow = int(20 * _CYCLES_PER_US)
+    for _ in range(10):
+        rec.on_request(_req(end=10, latency=slow))
+    rec.finalize(0)
+    (window,) = rec.windows
+    assert window["breach"]
+    assert window["p99_us"] > 10.0
+    assert rec.breach_windows == 1
+
+
+def test_queue_wait_counts_toward_the_objective():
+    rec = _recorder()
+    fast = int(1 * _CYCLES_PER_US)
+    wait = int(30 * _CYCLES_PER_US)
+    for _ in range(10):
+        rec.on_request(_req(end=10, latency=fast, queue_wait=wait))
+    rec.finalize(0)
+    assert rec.windows[0]["breach"]                    # service was fast;
+    assert rec.windows[0]["p99_us"] > 30.0             # queueing was not
+
+
+def test_drops_and_burn_rate():
+    objective = SloObjective(p99_us=1000.0, availability=0.9,
+                             window_us=100.0)
+    rec = _recorder(objective)
+    rec.on_request(_req(end=10, latency=5))
+    rec.note_drop(20)
+    rec.finalize(0)
+    (window,) = rec.windows
+    # 1 good / 2 offered: availability 0.5 < 0.9 floor -> breach; bad
+    # fraction 0.5 over the 0.1 budget -> burn rate 5.
+    assert window["availability"] == 0.5
+    assert window["breach"]
+    assert window["burn_rate"] == pytest.approx(5.0)
+    assert rec.summary()["drops"] == 1
+
+
+def test_timeouts_count_against_availability():
+    objective = SloObjective(p99_us=1000.0, availability=0.9,
+                             window_us=100.0, timeout_us=50.0)
+    rec = _recorder(objective)
+    rec.on_request(_req(end=10, latency=int(60 * _CYCLES_PER_US)))
+    rec.on_request(_req(end=11, latency=5))
+    rec.finalize(0)
+    (window,) = rec.windows
+    assert window["timeouts"] == 1
+    assert window["good"] == 1
+    assert window["availability"] == 0.5
+    assert window["breach"]
+
+
+def test_metrics_series_sampled_at_window_close():
+    metrics = MetricsRegistry()
+    rec = _recorder(metrics=metrics)
+    rec.on_request(_req(end=10, latency=5))
+    rec.finalize(_W)
+    assert metrics.time_series["slo.p99_window"].summary()["samples"] == 2
+    assert metrics.time_series["slo.burn_rate"].summary()["samples"] == 2
+
+
+# ----------------------------------------------------------------------
+# Breach forensics.
+# ----------------------------------------------------------------------
+class _Spans:
+    """SpanRecorder stand-in: path tuple -> self_cycles."""
+
+    def __init__(self):
+        self.paths = {}
+
+    def tree(self):
+        return self
+
+    def walk(self):
+        for path, cycles in self.paths.items():
+            yield path, SimpleNamespace(self_cycles=cycles)
+
+
+class _Locks:
+    def __init__(self):
+        self.locks = {}
+
+    def wait(self, name, cycles):
+        self.locks[name] = SimpleNamespace(total_wait_cycles=cycles)
+
+
+def test_forensics_name_nested_span_and_top_lock():
+    spans, locks = _Spans(), _Locks()
+    spans.paths = {("run", "step"): 1000,
+                   ("run", "step", "dma_unmap"): 100}
+    locks.wait("qi-lock", 50)
+    rec = _recorder(spans=spans, locks=locks)
+
+    # Over the breaching window: the top-level span gains the most
+    # (pacing idle), but forensics must name the nested path.
+    spans.paths = {("run", "step"): 900_000,
+                   ("run", "step", "dma_unmap"): 40_100,
+                   ("run", "step", "rx_packet"): 10_000}
+    locks.wait("qi-lock", 25_050)
+    locks.wait("pool-lock", 900)
+    for _ in range(10):
+        rec.on_request(_req(end=10, latency=int(50 * _CYCLES_PER_US)))
+    rec.finalize(0)
+
+    (entry,) = rec.forensics
+    assert entry["dominant_span_path"] == "step > dma_unmap"
+    assert entry["dominant_span_cycles"] == 40_000
+    assert entry["top_lock"] == "qi-lock"
+    assert entry["top_lock_wait_cycles"] == 25_000
+    assert entry["window"] == 0
+    assert entry["p99_us"] > 10.0
+
+
+def test_forensics_diff_per_window_not_cumulative():
+    spans, locks = _Spans(), _Locks()
+    rec = _recorder(spans=spans, locks=locks)
+    slow = int(50 * _CYCLES_PER_US)
+
+    locks.wait("qi-lock", 1_000_000)                   # window 0's story
+    rec.on_request(_req(end=10, latency=slow))
+    rec.on_request(_req(end=_W + 10, latency=slow))    # closes window 0
+    locks.wait("pool-lock", 2_000)                     # window 1's story
+    locks.wait("qi-lock", 1_000_500)
+    rec.finalize(_W + 10)
+
+    assert [e["top_lock"] for e in rec.forensics] == ["qi-lock",
+                                                      "pool-lock"]
+    assert rec.forensics[1]["top_lock_wait_cycles"] == 2_000

@@ -1,0 +1,63 @@
+"""Fleet workload tests: the open-loop diurnal load generator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.export import to_json
+from repro.workloads.fleet import (
+    _CURVE_SLOTS,
+    FleetConfig,
+    build_load_curve,
+    run_fleet,
+)
+
+
+def small(**kw):
+    defaults = dict(scheme="copy", cores=2, users=1_000_000,
+                    duration_us=400.0, warmup_us=100.0)
+    defaults.update(kw)
+    return FleetConfig(**defaults)
+
+
+def test_config_validates():
+    with pytest.raises(ConfigurationError):
+        small(users=0)
+    with pytest.raises(ConfigurationError):
+        small(per_user_tps=0)
+    with pytest.raises(ConfigurationError):
+        small(mix=(("kv", 0.0),))
+    with pytest.raises(ConfigurationError):
+        small(mix=(("no-such-conn", 1.0),))
+
+
+def test_load_curve_shape():
+    curve = build_load_curve(small())
+    assert len(curve) == _CURVE_SLOTS
+    assert all(m >= 0.05 for m in curve)
+    # The diurnal sinusoid actually modulates the rate.
+    assert max(curve) > 1.0 > min(curve)
+    # Same seed -> same curve; different seed -> different bursts.
+    assert curve == build_load_curve(small())
+    assert curve != build_load_curve(small(seed=1))
+
+
+def test_fleet_run_is_deterministic():
+    a = run_fleet(small())
+    b = run_fleet(small())
+    assert to_json([a]) == to_json([b])
+    assert a.units > 0
+    assert a.transactions_per_sec is not None
+    assert a.extras["offered_tps"] == pytest.approx(50_000.0)
+
+
+def test_fleet_mix_drives_all_connection_kinds():
+    result = run_fleet(small(duration_us=800.0))
+    served = result.extras["served"]
+    assert set(served) == {"kv", "burst", "bulk", "io"}
+    assert all(count > 0 for count in served.values())
+
+
+def test_fleet_scales_offered_load_with_users():
+    light = run_fleet(small())
+    heavy = run_fleet(small(users=4_000_000))
+    assert heavy.units > 2 * light.units

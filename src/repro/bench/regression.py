@@ -190,15 +190,6 @@ def _compare_throughput(baseline: Dict, current: Dict,
 # ----------------------------------------------------------------------
 # Span attribution of a regression.
 # ----------------------------------------------------------------------
-def _shares(tree: SpanNode) -> Dict[Tuple[str, ...], float]:
-    """Each path's share of the tree's total cycles."""
-    total = tree.total_cycles or tree.child_cycles
-    if not total:
-        return {}
-    return {path[1:]: node.total_cycles / total
-            for path, node in tree.walk() if len(path) > 1}
-
-
 def blame_span(base_tree: SpanNode,
                cur_tree: SpanNode) -> Optional[Tuple[Tuple[str, ...],
                                                      float, float]]:
@@ -207,18 +198,12 @@ def blame_span(base_tree: SpanNode,
     Returns ``(path, baseline_share, current_share)`` or ``None`` when
     no path grew.  Shares (fractions of total cycles) rather than raw
     cycles keep the verdict meaningful across quick/full scales.
+    Delegates to the diff engine's share-based blame so the gate's
+    one-line verdict and ``repro diff`` agree by construction.
     """
-    base_shares = _shares(base_tree)
-    cur_shares = _shares(cur_tree)
-    best: Optional[Tuple[Tuple[str, ...], float, float]] = None
-    best_delta = 0.0
-    for path, cur_share in cur_shares.items():
-        base_share = base_shares.get(path, 0.0)
-        delta = cur_share - base_share
-        if delta > best_delta:
-            best_delta = delta
-            best = (path, base_share, cur_share)
-    return best
+    from repro.obs.diff.spandiff import share_blame
+
+    return share_blame(base_tree, cur_tree)
 
 
 def _span_verdict(baseline: Dict, current: Dict,
@@ -277,14 +262,63 @@ def render_gate_report(baseline: Dict, current: Dict,
     return "\n".join(lines)
 
 
+def write_gate_diffs(baseline: Dict, current: Dict,
+                     regressions: List[Regression],
+                     out_dir: str) -> List[str]:
+    """One full differential report per regressed figure.
+
+    The gate's inline verdict is one line; the emitted
+    ``diff_<figure>.md`` is the whole story — per-unit span-trie deltas,
+    metric movement, quantile shifts — restricted to the figure that
+    tripped.  Returns the written paths (skipping figures neither
+    record carries points for, e.g. the simulator-throughput section).
+    """
+    from pathlib import Path
+
+    from repro.obs.diff.engine import build_diff
+    from repro.obs.diff.render import render_diff_markdown
+    from repro.obs.diff.sides import DiffSide, side_from_record
+
+    base_side = side_from_record(baseline, "baseline")
+    cur_side = side_from_record(current, "current")
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[str] = []
+    for figure in sorted({reg.figure for reg in regressions}):
+        fig_a = DiffSide(label=f"baseline:{figure}", kind="bench")
+        fig_a.points = {key: point
+                        for key, point in base_side.points.items()
+                        if key[0] == figure}
+        fig_b = DiffSide(label=f"current:{figure}", kind="bench")
+        fig_b.points = {key: point
+                        for key, point in cur_side.points.items()
+                        if key[0] == figure}
+        if not fig_a.points or not fig_b.points:
+            continue
+        path = out / f"diff_{figure}.md"
+        path.write_text(render_diff_markdown(build_diff(fig_a, fig_b)))
+        written.append(str(path))
+    return written
+
+
 def gate_against_baseline(baseline_path: str, current: Dict,
                           tolerances: Optional[Dict[str,
                                                     Tuple[bool, float]]]
-                          = None) -> int:
-    """Compare, print the verdict, return the exit status (0/1)."""
+                          = None,
+                          out_dir: Optional[str] = None) -> int:
+    """Compare, print the verdict, return the exit status (0/1).
+
+    With ``out_dir``, a failing gate also delegates root-cause analysis
+    to the diff engine: every regressed figure gets a full
+    ``diff_<figure>.md`` differential report next to the bench record.
+    """
     from repro.bench.record import load_record
 
     baseline = load_record(baseline_path)
     regressions = compare_records(baseline, current, tolerances)
     print(render_gate_report(baseline, current, regressions))
+    if regressions and out_dir is not None:
+        for path in write_gate_diffs(baseline, current, regressions,
+                                     out_dir):
+            print(f"  differential report: {path}")
     return 1 if regressions else 0

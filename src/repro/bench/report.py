@@ -11,7 +11,11 @@ runs), then writes a single markdown document that combines
   captures (``identity-strict`` vs ``copy``) with the critical-path
   analyzer's verdict for each, so the report states *why* the strict
   scheme's tail is slow (invalidation-lock wait) and where the copy
-  scheme pays instead (the copy itself).
+  scheme pays instead (the copy itself);
+* a **differential analysis** section — the same two captures run
+  through the ``repro diff`` engine (:mod:`repro.obs.diff`): per-unit
+  span-cycle movement between the schemes and the stage-wise
+  decomposition of the tail-gap change.
 
 Unlike ``bench``, no ``BENCH_*.json`` record is written — this is the
 human-facing artifact (CI uploads it; see ``.github/workflows/ci.yml``).
@@ -132,16 +136,26 @@ def _fleet_table(record: Dict) -> List[str]:
     return lines
 
 
-def _tail_attribution(tail: float) -> List[str]:
-    """Contrast captures: where the tail goes, strict vs copy."""
+def _tail_attribution(tail: float) -> Tuple[List[str], List]:
+    """Contrast captures: where the tail goes, strict vs copy.
+
+    Returns the rendered section *and* the two captures as diff sides,
+    so the differential-analysis section reuses the exact same runs
+    rather than paying for a second pair.
+    """
+    from repro.obs.diff.sides import side_from_capture
+
     lines: List[str] = []
+    sides: List = []
     for scheme in ("identity-strict", "copy"):
         obs = Observability.capture(trace_capacity=256)
-        run_tcp_stream_rx(StreamConfig(
+        result = run_tcp_stream_rx(StreamConfig(
             scheme=scheme, direction="rx",
             message_size=_ATTRIBUTION_SIZE, cores=_ATTRIBUTION_CORES,
             units_per_core=_ATTRIBUTION_UNITS,
             warmup_units=_ATTRIBUTION_WARMUP, obs=obs))
+        sides.append(side_from_capture(result, obs, label=scheme,
+                                       tail_percentile=tail))
         report = tail_report(obs.requests, kind=REQ_RX, percentile=tail)
         lines.extend([
             f"### {scheme}",
@@ -151,7 +165,15 @@ def _tail_attribution(tail: float) -> List[str]:
             "```",
             "",
         ])
-    return lines
+    return lines, sides
+
+
+def _diff_section(sides: List) -> List[str]:
+    """Strict-vs-copy differential summary from the reused captures."""
+    from repro.obs.diff.engine import build_diff
+    from repro.obs.diff.render import render_diff_embed
+
+    return render_diff_embed(build_diff(sides[0], sides[1]))
 
 
 def run_report(out: Optional[str] = None,
@@ -185,8 +207,18 @@ def run_report(out: Optional[str] = None,
         f"## Tail attribution (p{tail:g}, {_ATTRIBUTION_CORES}-core RX, "
         f"{_ATTRIBUTION_SIZE}B frames)",
         "",
-        *_tail_attribution(tail),
     ]
+    attribution_lines, sides = _tail_attribution(tail)
+    parts.extend(attribution_lines)
+    parts.extend([
+        "## Differential analysis (identity-strict vs copy)",
+        "",
+        "The same two captures as above, run through the `repro diff` "
+        "engine: per-unit span-cycle movement and the stage-wise "
+        "decomposition of the tail-gap change.",
+        "",
+        *_diff_section(sides),
+    ])
 
     path = out or os.path.join(default_results_dir(), "REPORT.md")
     parent = os.path.dirname(os.path.abspath(path))

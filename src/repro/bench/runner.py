@@ -565,7 +565,7 @@ def run_bench(mode: str = "quick", only: Optional[Sequence[str]] = None,
     print(f"[bench] report : {md_path}")
 
     if baseline is not None:
-        return gate_against_baseline(baseline, record)
+        return gate_against_baseline(baseline, record, out_dir=out)
     return 0
 
 

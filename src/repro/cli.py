@@ -12,6 +12,8 @@ Examples::
     python -m repro trace --workload stream --cores 16 \\
         --scheme identity+ --requests --tail p99 --perfetto trace.json
     python -m repro report --out REPORT.md
+    python -m repro diff --workload stream --schemes strict,copy
+    python -m repro diff benchmarks/results/BENCH_quick.json
 
 Every subcommand prints the same metrics the corresponding paper
 table/figure reports.  ``python -m repro bench`` runs the full figure
@@ -304,6 +306,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output directory for fleet.json/fleet.md/"
                               "fleet_windows.jsonl "
                               "(default benchmarks/results)")
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="differential root-cause report: A/B attribution between "
+             "runs, schemes, and the checked-in baseline")
+    diff_p.add_argument("paths", nargs="*", metavar="RECORD",
+                        help="two records: diff A vs B; one record: "
+                             "diff the checked-in baseline vs it; none: "
+                             "run a live scheme pair (--workload)")
+    diff_p.add_argument("--workload",
+                        choices=("stream", "stream-tx", "rr",
+                                 "memcached", "storage"),
+                        default=None,
+                        help="live-pair workload (omit when diffing "
+                             "record files)")
+    diff_p.add_argument("--schemes", metavar="A,B",
+                        default="identity-strict,copy",
+                        help="the two schemes a live pair compares "
+                             "(aliases like strict/copy allowed; "
+                             "default identity-strict,copy)")
+    diff_sizing = diff_p.add_mutually_exclusive_group()
+    diff_sizing.add_argument("--quick", action="store_true",
+                             help="live-pair smoke sizing (default)")
+    diff_sizing.add_argument("--full", action="store_true",
+                             help="live-pair report sizing")
+    diff_p.add_argument("--cores", type=_positive_int, default=None,
+                        help="override live-pair core count")
+    diff_p.add_argument("--size", type=_positive_int, default=None,
+                        help="override live-pair message/block size")
+    diff_p.add_argument("--units", type=_positive_int, default=None,
+                        help="override live-pair units per core")
+    diff_p.add_argument("--tail", type=parse_percentile, default=99.0,
+                        metavar="PCT",
+                        help="tail percentile for the quantile-shift "
+                             "attribution (default p99)")
+    diff_p.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="run the live pair across N processes; "
+                             "the report is byte-stable regardless of N "
+                             "(default 1)")
+    diff_p.add_argument("--out", metavar="DIR", default=None,
+                        help="output directory for diff.md/diff.json "
+                             "(default benchmarks/results)")
+    diff_p.add_argument("--quiet", action="store_true",
+                        help="write the artifacts without printing the "
+                             "report")
 
     report = sub.add_parser(
         "report", help="one-shot consolidated report: quick bench + "
@@ -640,6 +688,17 @@ def _dispatch(args) -> int:
         mode = "full" if args.full else "quick"
         return run_fleet_capacity(schemes=schemes, mode=mode,
                                   jobs=args.jobs, out_dir=args.out)
+    if args.command == "diff":
+        from repro.obs.diff.command import run_diff
+
+        schemes = [_scheme(s.strip())
+                   for s in args.schemes.split(",") if s.strip()]
+        mode = "full" if args.full else "quick"
+        return run_diff(paths=args.paths, workload=args.workload,
+                        schemes=schemes, mode=mode, cores=args.cores,
+                        size=args.size, units=args.units,
+                        tail=args.tail, jobs=args.jobs,
+                        out_dir=args.out, quiet=args.quiet)
     if args.command == "report":
         from repro.bench.report import run_report
 

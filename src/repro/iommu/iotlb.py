@@ -22,9 +22,22 @@ from repro.iommu.page_table import PteEntry
 
 @dataclass
 class IotlbStats:
+    """Counter semantics, kept deliberately distinct:
+
+    * ``invalidations`` — invalidation *operations* issued (one per
+      ``invalidate_pages``/``invalidate_domain`` call, however many
+      entries it covers); this is the paper's cost unit — each op is a
+      queued-invalidation command.
+    * ``invalidated_entries`` — cached entries actually *removed* by
+      those operations; ops over uncached pages remove nothing.
+    * ``evictions`` — entries displaced by capacity pressure on
+      ``insert``, never by invalidation.
+    """
+
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    invalidated_entries: int = 0
     global_invalidations: int = 0
     evictions: int = 0
 
@@ -84,6 +97,7 @@ class Iotlb:
             if self._entries.pop((domain_id, page), None) is not None:
                 removed += 1
         self.stats.invalidations += 1
+        self.stats.invalidated_entries += removed
         return removed
 
     def invalidate_domain(self, domain_id: int) -> int:
@@ -92,6 +106,7 @@ class Iotlb:
         for key in keys:
             del self._entries[key]
         self.stats.invalidations += 1
+        self.stats.invalidated_entries += len(keys)
         return len(keys)
 
     def invalidate_all(self) -> int:
@@ -99,6 +114,7 @@ class Iotlb:
         count = len(self._entries)
         self._entries.clear()
         self.stats.global_invalidations += 1
+        self.stats.invalidated_entries += count
         return count
 
     def __len__(self) -> int:

@@ -1,0 +1,148 @@
+"""The diff engine: two sides in, one deterministic report out.
+
+:func:`build_diff` aligns the two sides' points by key, then applies
+each analyzer where its inputs exist — metric deltas everywhere, span
+diffs where both-or-either side carries an attribution trie, quantile
+shifts where both sides carry request tail profiles — and folds the
+results into a single JSON-ready dict.  The dict is pure data: sorted
+keys, rounded floats, no timestamps, no wall-clock — byte-stable for
+deterministic inputs regardless of how the sides were produced
+(in-process or via ``--jobs`` worker fan-out).
+
+The ``summary`` block is the report's one-glance layer: the moved
+metric count, the single top grown span path across every compared
+trie, and a one-line verdict.  :func:`diff_is_zero` is the self-diff
+invariant the test suite leans on: a side diffed against itself
+reports zero deltas everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.obs.diff.metricdiff import changed, diff_metrics
+from repro.obs.diff.quantile import quantile_shift
+from repro.obs.diff.sides import DiffSide, key_label
+from repro.obs.diff.spandiff import diff_span_trees
+
+#: Report format marker, bumped on any structural change.
+DIFF_SCHEMA = "repro-diff/v1"
+
+#: Per-point cap on listed metric deltas (the count is always exact).
+METRIC_LIMIT = 40
+
+#: Per-trie cap on listed grown/shrunk span paths.
+SPAN_LIMIT = 8
+
+
+def _quantile_is_zero(shift: Dict[str, object]) -> bool:
+    return (shift.get("gap_delta_us") == 0.0
+            and all(row.get("delta_us") == 0.0
+                    for row in shift.get("stages", ())))
+
+
+def build_diff(a: DiffSide, b: DiffSide,
+               span_limit: int = SPAN_LIMIT,
+               metric_limit: int = METRIC_LIMIT) -> Dict[str, object]:
+    """Compare side A against side B; returns the JSON-ready report."""
+    keys_a = set(a.points)
+    keys_b = set(b.points)
+    matched = sorted(keys_a & keys_b)
+    only_a = sorted(keys_a - keys_b)
+    only_b = sorted(keys_b - keys_a)
+
+    metric_sections: List[Dict[str, object]] = []
+    span_sections: List[Dict[str, object]] = []
+    quantile_sections: List[Dict[str, object]] = []
+    changed_total = 0
+    spans_zero = True
+    quantiles_zero = True
+    top_span: Optional[Dict[str, object]] = None
+
+    for key in matched:
+        pa = a.points[key]
+        pb = b.points[key]
+
+        deltas = diff_metrics(pa.metrics, pb.metrics)
+        moved = changed(deltas)
+        changed_total += len(moved)
+        if deltas:
+            metric_sections.append({
+                "key": key_label(key),
+                "changed": [d.to_dict() for d in moved[:metric_limit]],
+                "changed_total": len(moved),
+                "unchanged": len(deltas) - len(moved),
+            })
+
+        if pa.spans is not None or pb.spans is not None:
+            sdiff = diff_span_trees(pa.spans, pb.spans,
+                                    pa.units, pb.units)
+            if not sdiff.is_zero:
+                spans_zero = False
+            section = sdiff.to_dict(limit=span_limit)
+            for rows, ranked in ((section["grown"], sdiff.grown()),
+                                 (section["shrunk"], sdiff.shrunk())):
+                for row, delta in zip(rows, ranked):
+                    row["contribution"] = round(
+                        sdiff.contribution(delta), 4)
+            section["key"] = key_label(key)
+            span_sections.append(section)
+            for delta in sdiff.grown()[:1]:
+                if (top_span is None
+                        or delta.self_delta_per_unit
+                        > top_span["self_delta_per_unit"]):
+                    top_span = {
+                        "key": key_label(key),
+                        "path": list(delta.path),
+                        "self_delta_per_unit": round(
+                            delta.self_delta_per_unit, 6),
+                    }
+
+        shift = quantile_shift(pa.tail, pb.tail)
+        if shift is not None:
+            if not _quantile_is_zero(shift):
+                quantiles_zero = False
+            shift["key"] = key_label(key)
+            quantile_sections.append(shift)
+
+    zero = (changed_total == 0 and spans_zero and quantiles_zero
+            and not only_a and not only_b)
+    if zero:
+        verdict = "zero deltas everywhere"
+    else:
+        parts = [f"{changed_total} metric(s) moved across "
+                 f"{len(matched)} matched point(s)"]
+        if top_span is not None:
+            parts.append(
+                f"top span growth: {top_span['key']}: "
+                f"{' > '.join(top_span['path'])} "
+                f"(+{top_span['self_delta_per_unit']:.3f} cycles/unit)")
+        if only_a or only_b:
+            parts.append(f"{len(only_a)} point(s) only in A, "
+                         f"{len(only_b)} only in B")
+        verdict = "; ".join(parts)
+
+    return {
+        "schema": DIFF_SCHEMA,
+        "a": {"label": a.label, "kind": a.kind, "points": len(a.points)},
+        "b": {"label": b.label, "kind": b.kind, "points": len(b.points)},
+        "matched": len(matched),
+        "only_a": [key_label(k) for k in only_a],
+        "only_b": [key_label(k) for k in only_b],
+        "metrics": metric_sections,
+        "spans": span_sections,
+        "quantile_shift": quantile_sections,
+        "summary": {
+            "zero": zero,
+            "changed_metrics": changed_total,
+            "spans_zero": spans_zero,
+            "quantiles_zero": quantiles_zero,
+            "top_span": top_span,
+            "verdict": verdict,
+        },
+    }
+
+
+def diff_is_zero(diff: Dict[str, object]) -> bool:
+    """True when the report found no movement anywhere."""
+    return bool(diff.get("summary", {}).get("zero"))

@@ -1,0 +1,99 @@
+"""Metric deltas: every numeric signal two sides share, diffed.
+
+One generic mechanism covers series rows, metrics-registry snapshots
+(counters, histogram summaries, time-series summaries), per-lock wait
+profiles, exposure integrals, and the invalidation queue-depth series:
+flatten the nested dicts into dotted paths (``locks.qi-lock.
+total_wait_cycles``, ``histograms.invalidation.latency_cycles.p99``)
+and compare leaf by leaf over the union of keys.
+
+A key present on one side only is compared against 0.0 and flagged, so
+"a metric appeared" (a scheme that starts spinning) is as visible as
+"a metric moved".  Non-numeric leaves and lists are skipped — the diff
+engine compares *signals*, not blobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+#: Relative changes below this are formatting noise, not movement.
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One flattened metric's movement between side A and side B."""
+
+    name: str
+    a: Optional[float]            # None: absent on side A
+    b: Optional[float]            # None: absent on side B
+
+    @property
+    def a_value(self) -> float:
+        return self.a if self.a is not None else 0.0
+
+    @property
+    def b_value(self) -> float:
+        return self.b if self.b is not None else 0.0
+
+    @property
+    def delta(self) -> float:
+        return self.b_value - self.a_value
+
+    @property
+    def rel(self) -> Optional[float]:
+        """Relative change vs A (None when A is 0 or absent)."""
+        if not self.a_value:
+            return None
+        return self.delta / self.a_value
+
+    @property
+    def is_zero(self) -> bool:
+        return abs(self.delta) < _EPSILON
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.name,
+            "a": self.a,
+            "b": self.b,
+            "delta": round(self.delta, 6),
+            "rel": (round(self.rel, 6) if self.rel is not None else None),
+        }
+
+
+def flatten_numeric(obj: object, prefix: str = "") -> Dict[str, float]:
+    """Flatten nested dicts to ``dotted.path -> float`` (numeric leaves
+    only; bools, strings, Nones, and lists are skipped)."""
+    flat: Dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key in obj:
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_numeric(obj[key], path))
+    elif isinstance(obj, bool):
+        pass
+    elif isinstance(obj, (int, float)):
+        flat[prefix] = float(obj)
+    return flat
+
+
+def diff_metrics(a: Dict[str, object],
+                 b: Dict[str, object]) -> List[MetricDelta]:
+    """Leaf-by-leaf deltas over the union of both sides' numeric keys,
+    sorted by metric name (deterministic regardless of input order)."""
+    fa = flatten_numeric(a)
+    fb = flatten_numeric(b)
+    return [MetricDelta(name=name, a=fa.get(name), b=fb.get(name))
+            for name in sorted(set(fa) | set(fb))]
+
+
+def changed(deltas: List[MetricDelta]) -> List[MetricDelta]:
+    """Only the moved metrics, largest absolute relative change first
+    (appearances/disappearances — no defined rel — lead, by |delta|)."""
+    moved = [d for d in deltas if not d.is_zero]
+    moved.sort(key=lambda d: (d.rel is not None,
+                              -(abs(d.rel) if d.rel is not None
+                                else abs(d.delta)),
+                              d.name))
+    return moved

@@ -1,0 +1,82 @@
+"""Quantile-shift attribution: which stage explains the tail-gap change?
+
+:func:`repro.obs.requests.tail_report` already answers, for one run,
+"why is the p99 slower than the p50": it profiles the tail cohort and
+the median cohort per stage.  This module answers the *differential*
+question: between run A and run B, which stage explains the **change**
+in the p50→p99 gap?
+
+The per-side gap is attributed in cycles: a stage's contribution is its
+share of the tail threshold latency minus its share of the p50 latency
+(``tail_profile[s] * p99_cycles - median_profile[s] * p50_cycles``).
+Stage contributions sum to approximately the gap itself, so the
+stage-wise difference of the two sides' attributions decomposes the gap
+change — "strict's gap grew 12 µs and 9 µs of that is ``lock_wait``"
+is the actionable sentence.
+
+``unattributed`` time is reported but never blamed, mirroring the
+single-run tail analyzer's convention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.requests import STAGE_UNATTRIBUTED, cycles_to_us
+
+
+def gap_attribution(tail: Dict[str, object]) -> Dict[str, float]:
+    """Per-stage contribution (cycles) to one run's p50→tail gap."""
+    threshold = float(tail.get("threshold_cycles") or 0)
+    p50 = float(tail.get("p50_cycles") or 0)
+    tail_profile = tail.get("tail_profile") or {}
+    median_profile = tail.get("median_profile") or {}
+    gaps: Dict[str, float] = {}
+    for stage in set(tail_profile) | set(median_profile):
+        gaps[stage] = (tail_profile.get(stage, 0.0) * threshold
+                       - median_profile.get(stage, 0.0) * p50)
+    return gaps
+
+
+def quantile_shift(tail_a: Optional[Dict[str, object]],
+                   tail_b: Optional[Dict[str, object]],
+                   ) -> Optional[Dict[str, object]]:
+    """Stage-wise decomposition of the tail-gap change between A and B.
+
+    Returns ``None`` when either side lacks tail data (a persisted
+    artifact that carries no request stage profiles).  The ``verdict``
+    is the instrumented stage with the largest absolute gap-change
+    contribution; ``stages`` lists every stage's per-side gap and delta
+    in µs, largest |delta| first.
+    """
+    if not tail_a or not tail_b:
+        return None
+    gaps_a = gap_attribution(tail_a)
+    gaps_b = gap_attribution(tail_b)
+    stages = sorted(set(gaps_a) | set(gaps_b))
+    rows = []
+    verdict: Optional[str] = None
+    verdict_delta = 0.0
+    for stage in stages:
+        delta = gaps_b.get(stage, 0.0) - gaps_a.get(stage, 0.0)
+        rows.append({
+            "stage": stage,
+            "gap_a_us": round(cycles_to_us(gaps_a.get(stage, 0.0)), 3),
+            "gap_b_us": round(cycles_to_us(gaps_b.get(stage, 0.0)), 3),
+            "delta_us": round(cycles_to_us(delta), 3),
+        })
+        if stage != STAGE_UNATTRIBUTED and abs(delta) > abs(verdict_delta):
+            verdict = stage
+            verdict_delta = delta
+    rows.sort(key=lambda r: (-abs(r["delta_us"]), r["stage"]))
+    gap_a = sum(gaps_a.values())
+    gap_b = sum(gaps_b.values())
+    return {
+        "percentile": tail_a.get("percentile"),
+        "gap_a_us": round(cycles_to_us(gap_a), 3),
+        "gap_b_us": round(cycles_to_us(gap_b), 3),
+        "gap_delta_us": round(cycles_to_us(gap_b - gap_a), 3),
+        "verdict": verdict,
+        "verdict_delta_us": round(cycles_to_us(verdict_delta), 3),
+        "stages": rows,
+    }

@@ -201,3 +201,22 @@ class MetricsRegistry:
             "series": {n: s.summary()
                        for n, s in sorted(self.time_series.items())},
         }
+
+
+def record_iotlb_stats(metrics: MetricsRegistry, now: int,
+                       stats: Dict[str, int], hit_rate: float) -> None:
+    """Surface quiesce-time IOTLB accounting into the metrics registry.
+
+    Called once when a workload quiesces (the cache's counters are
+    cumulative, so sampling mid-run would double-count): every integer
+    counter becomes an ``iotlb.<name>`` counter, and the hit rate is
+    sampled into the ``iotlb.hit_rate_ppm`` series in parts per million
+    (the series reservoir stores integers).  Pure host-time bookkeeping,
+    like every instrument here — no simulated cycles are charged.
+    """
+    for name, value in sorted(stats.items()):
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        metrics.counter(f"iotlb.{name}").inc(value)
+    metrics.series("iotlb.hit_rate_ppm").sample(
+        now, int(round(hit_rate * 1_000_000)))

@@ -80,6 +80,21 @@ def result_to_row(result: RunResult) -> dict:
             row["latency_p50_us"] = overall.get("p50_us")
             row["latency_p99_us"] = overall.get("p99_us")
             row["latency_p999_us"] = overall.get("p999_us")
+    iotlb = result.extras.get("iotlb")
+    if isinstance(iotlb, dict) and iotlb:
+        # IOTLB columns are report-only: cache behaviour is an
+        # *explanation* (why strict unmapping costs what it costs), not
+        # a gated contract, so none of these appear in
+        # DEFAULT_TOLERANCES.
+        hits = iotlb.get("hits", 0)
+        misses = iotlb.get("misses", 0)
+        lookups = hits + misses
+        row["iotlb_hit_rate"] = (round(hits / lookups, 6)
+                                 if lookups else 0.0)
+        row["iotlb_evictions"] = iotlb.get("evictions", 0)
+        row["iotlb_invalidations"] = iotlb.get("invalidations", 0)
+        row["iotlb_invalidated_entries"] = \
+            iotlb.get("invalidated_entries", 0)
     slo = result.extras.get("slo")
     if isinstance(slo, dict) and slo.get("armed"):
         # SLO-window columns (see repro.obs.slo): breach counts gate

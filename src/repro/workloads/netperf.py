@@ -124,6 +124,12 @@ def _collect(system: System, cfg_scheme: str, workload: str,
         result.extras["window_max_us"] = cycles_to_us(max(samples))
     obs = machine.obs
     if obs.enabled:
+        if system.iommu is not None:
+            from repro.obs.metrics import record_iotlb_stats
+
+            record_iotlb_stats(obs.metrics, machine.wall_clock(),
+                               result.extras["iotlb"],
+                               system.iommu.iotlb.stats.hit_rate)
         result.extras["metrics"] = obs.metrics.snapshot()
         result.extras["exposure"] = obs.exposure.summary()
         result.extras["requests"] = obs.requests.summary()

@@ -182,6 +182,7 @@ def run_storage(cfg: StorageConfig) -> RunResult:
     if hasattr(api, "hybrid_maps"):
         result.extras["hybrid_maps"] = api.hybrid_maps
     if iommu is not None:
+        result.extras["iotlb"] = vars(iommu.iotlb.stats).copy()
         invq = iommu.invalidation_queue
         result.extras["sync_invalidations"] = invq.sync_invalidations
         result.extras["inv_lock_wait_cycles"] = \
@@ -191,6 +192,12 @@ def run_storage(cfg: StorageConfig) -> RunResult:
         result.extras["inv_hw_service_cycles"] = hw.total_service_cycles
         result.extras["inv_hw_queue_delay_cycles"] = hw.queue_delay_cycles
     if obs.enabled:
+        if iommu is not None:
+            from repro.obs.metrics import record_iotlb_stats
+
+            record_iotlb_stats(obs.metrics, machine.wall_clock(),
+                               result.extras["iotlb"],
+                               iommu.iotlb.stats.hit_rate)
         result.extras["metrics"] = obs.metrics.snapshot()
         result.extras["exposure"] = obs.exposure.summary()
         result.extras["requests"] = obs.requests.summary()

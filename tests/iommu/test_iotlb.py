@@ -79,6 +79,64 @@ def test_contains_does_not_perturb():
     assert tlb.stats.misses == 0
 
 
+def test_contains_does_not_reorder_lru():
+    tlb = Iotlb(capacity=2)
+    tlb.insert(1, 1, entry(1))
+    tlb.insert(1, 2, entry(2))
+    tlb.contains(1, 1)            # must NOT freshen entry 1
+    tlb.insert(1, 3, entry(3))    # so entry 1 is still the LRU victim
+    assert not tlb.contains(1, 1)
+    assert tlb.contains(1, 2)
+    assert tlb.contains(1, 3)
+
+
+def test_peek_does_not_reorder_lru_or_touch_stats():
+    tlb = Iotlb(capacity=2)
+    tlb.insert(1, 1, entry(7))
+    tlb.insert(1, 2, entry(8))
+    assert tlb.peek(1, 1).pfn == 7
+    assert tlb.peek(1, 99) is None
+    assert tlb.stats.hits == 0
+    assert tlb.stats.misses == 0
+    tlb.insert(1, 3, entry(9))    # peek didn't freshen 1: it's evicted
+    assert not tlb.contains(1, 1)
+
+
+def test_invalidation_op_and_entry_counts_are_distinct():
+    tlb = Iotlb()
+    for page in range(4):
+        tlb.insert(1, page, entry(page))
+    # One op covering 8 pages, only 4 of them cached.
+    assert tlb.invalidate_pages(1, 0, npages=8) == 4
+    assert tlb.stats.invalidations == 1
+    assert tlb.stats.invalidated_entries == 4
+    # An op over nothing still counts as an op, removes no entries.
+    assert tlb.invalidate_pages(1, 50, npages=2) == 0
+    assert tlb.stats.invalidations == 2
+    assert tlb.stats.invalidated_entries == 4
+
+
+def test_invalidate_domain_and_all_count_removed_entries():
+    tlb = Iotlb()
+    tlb.insert(1, 1, entry(1))
+    tlb.insert(1, 2, entry(2))
+    tlb.insert(2, 1, entry(3))
+    tlb.invalidate_domain(1)
+    assert tlb.stats.invalidated_entries == 2
+    tlb.invalidate_all()
+    assert tlb.stats.invalidated_entries == 3
+    assert tlb.stats.global_invalidations == 1
+
+
+def test_evictions_are_not_invalidations():
+    tlb = Iotlb(capacity=1)
+    tlb.insert(1, 1, entry(1))
+    tlb.insert(1, 2, entry(2))    # capacity eviction of page 1
+    assert tlb.stats.evictions == 1
+    assert tlb.stats.invalidations == 0
+    assert tlb.stats.invalidated_entries == 0
+
+
 def test_insert_updates_existing():
     tlb = Iotlb(capacity=4)
     tlb.insert(1, 1, entry(1))

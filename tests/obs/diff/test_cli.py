@@ -1,0 +1,69 @@
+"""``python -m repro diff`` end to end through the CLI entry point."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+BASELINE = Path(__file__).resolve().parents[3] \
+    / "benchmarks" / "results" / "baseline.json"
+
+
+def test_two_record_self_diff_is_zero(tmp_path):
+    rc = main(["diff", str(BASELINE), str(BASELINE),
+               "--out", str(tmp_path), "--quiet"])
+    assert rc == 0
+    diff = json.loads((tmp_path / "diff.json").read_text())
+    assert diff["summary"]["zero"] is True
+    md = (tmp_path / "diff.md").read_text()
+    assert "zero deltas everywhere" in md
+
+
+def test_one_record_diffs_against_checked_in_baseline(tmp_path, capsys):
+    rc = main(["diff", str(BASELINE), "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "baseline:baseline.json" in out
+    diff = json.loads((tmp_path / "diff.json").read_text())
+    assert diff["a"]["label"] == "baseline:baseline.json"
+    assert diff["summary"]["zero"] is True
+
+
+def test_live_pair_via_cli_with_scheme_aliases(tmp_path):
+    rc = main(["diff", "--workload", "stream",
+               "--schemes", "strict,copy", "--cores", "2",
+               "--units", "20", "--out", str(tmp_path), "--quiet"])
+    assert rc == 0
+    diff = json.loads((tmp_path / "diff.json").read_text())
+    assert diff["a"]["label"] == "identity-strict"
+    assert diff["b"]["label"] == "copy"
+    assert diff["summary"]["zero"] is False
+
+
+def test_paths_and_workload_are_mutually_exclusive(tmp_path, capsys):
+    rc = main(["diff", str(BASELINE), "--workload", "stream",
+               "--out", str(tmp_path)])
+    assert rc == 2                      # ConfigurationError exit code
+    assert "not both" in capsys.readouterr().err
+
+
+def test_three_paths_rejected(tmp_path, capsys):
+    rc = main(["diff", str(BASELINE), str(BASELINE), str(BASELINE),
+               "--out", str(tmp_path)])
+    assert rc == 2
+    assert "at most two" in capsys.readouterr().err
+
+
+def test_no_paths_no_workload_is_an_error(tmp_path, capsys):
+    rc = main(["diff", "--out", str(tmp_path)])
+    assert rc == 2
+    assert "--workload" in capsys.readouterr().err
+
+
+def test_live_pair_rejects_single_scheme(tmp_path, capsys):
+    rc = main(["diff", "--workload", "stream", "--schemes", "copy",
+               "--out", str(tmp_path)])
+    assert rc == 2
+    assert "exactly two" in capsys.readouterr().err

@@ -1,0 +1,71 @@
+"""Live-pair diffs: scheme attribution and --jobs byte-stability.
+
+The paper-shaped acceptance check: a strict-vs-copy diff must attribute
+the strict side's extra cycles to the unmap path (IOTLB invalidation
+and invalidation-lock wait) and the copy side's to the copy/pool path —
+and the rendered bytes must not depend on worker fan-out.
+"""
+
+import pytest
+
+from repro.obs.diff import build_diff, diff_to_json, render_diff_markdown
+from repro.obs.diff.sides import run_live_pair
+
+#: Small but multi-core (lock contention needs >1 core to exist).
+SIZING = dict(cores=4, size=16384, units=30, warmup=8)
+
+
+@pytest.fixture(scope="module")
+def strict_copy_diff():
+    a, b = run_live_pair("stream", "identity-strict", "copy",
+                         jobs=1, quiet=True, **SIZING)
+    # Uncapped metric listing so assertions can see every moved metric.
+    return build_diff(a, b, metric_limit=10_000)
+
+
+def test_live_pair_points_align_across_schemes(strict_copy_diff):
+    assert strict_copy_diff["matched"] == 1
+    assert not strict_copy_diff["only_a"]
+    assert not strict_copy_diff["only_b"]
+
+
+def test_strict_vs_copy_attribution(strict_copy_diff):
+    spans = strict_copy_diff["spans"]
+    assert len(spans) == 1
+    shrunk_paths = [tuple(row["path"]) for row in spans[0]["shrunk"]]
+    grown_paths = [tuple(row["path"]) for row in spans[0]["grown"]]
+    # Strict (side A) pays in the unmap path: invalidation and the
+    # invalidation-queue lock.
+    assert any(path[-1] == "lock_wait" and "dma_unmap" in path
+               for path in shrunk_paths)
+    assert any(path[-1] == "iotlb_invalidate" for path in shrunk_paths)
+    # Copy (side B) pays in the copy/pool path.
+    assert any("copy" in path or "pool_acquire" in path
+               for path in grown_paths)
+
+
+def test_iotlb_metrics_flow_into_the_diff(strict_copy_diff):
+    moved = [entry["metric"]
+             for section in strict_copy_diff["metrics"]
+             for entry in section["changed"]]
+    assert any(name.startswith("metrics.counters.iotlb.")
+               for name in moved)
+    assert any(name.startswith("row.iotlb_") for name in moved)
+
+
+def test_quantile_shift_present_for_live_pairs(strict_copy_diff):
+    assert strict_copy_diff["quantile_shift"]
+    shift = strict_copy_diff["quantile_shift"][0]
+    assert shift["percentile"] == 99.0
+    assert shift["stages"]
+
+
+def test_jobs_fanout_is_byte_stable():
+    a1, b1 = run_live_pair("stream", "identity-strict", "copy",
+                           jobs=1, quiet=True, **SIZING)
+    a2, b2 = run_live_pair("stream", "identity-strict", "copy",
+                           jobs=2, quiet=True, **SIZING)
+    diff1 = build_diff(a1, b1)
+    diff2 = build_diff(a2, b2)
+    assert diff_to_json(diff1) == diff_to_json(diff2)
+    assert render_diff_markdown(diff1) == render_diff_markdown(diff2)

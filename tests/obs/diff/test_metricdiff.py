@@ -1,0 +1,59 @@
+"""Metric-delta semantics: flattening, unions, ordering."""
+
+import pytest
+
+from repro.obs.diff.metricdiff import (
+    MetricDelta,
+    changed,
+    diff_metrics,
+    flatten_numeric,
+)
+
+
+def test_flatten_skips_non_numeric_leaves():
+    flat = flatten_numeric({
+        "scheme": "copy",                  # string: skipped
+        "armed": True,                     # bool: skipped
+        "samples": [1, 2, 3],              # list: skipped
+        "none": None,                      # None: skipped
+        "locks": {"qi-lock": {"total_wait_cycles": 42}},
+        "count": 7,
+        "rate": 0.5,
+    })
+    assert flat == {"locks.qi-lock.total_wait_cycles": 42.0,
+                    "count": 7.0, "rate": 0.5}
+
+
+def test_union_flags_appearances_and_disappearances():
+    deltas = diff_metrics({"a": 1, "gone": 5}, {"a": 1, "new": 3})
+    by_name = {d.name: d for d in deltas}
+    assert by_name["gone"].b is None
+    assert by_name["gone"].delta == -5.0
+    assert by_name["new"].a is None
+    assert by_name["new"].delta == 3.0
+    assert by_name["a"].is_zero
+
+
+def test_changed_orders_no_rel_first_then_by_relative_change():
+    deltas = [
+        MetricDelta("steady", 100.0, 100.0),
+        MetricDelta("small_move", 100.0, 101.0),     # +1%
+        MetricDelta("big_move", 10.0, 30.0),         # +200%
+        MetricDelta("appeared", None, 2.0),          # no rel
+    ]
+    moved = changed(deltas)
+    assert [d.name for d in moved] \
+        == ["appeared", "big_move", "small_move"]
+
+
+def test_diff_is_deterministically_sorted():
+    a = {"z": 1, "m": 2, "a": 3}
+    names = [d.name for d in diff_metrics(a, a)]
+    assert names == sorted(names)
+
+
+def test_delta_to_dict_rounds():
+    d = MetricDelta("x", 3.0, 4.0000004)
+    row = d.to_dict()
+    assert row["delta"] == pytest.approx(1.0)
+    assert row["rel"] == pytest.approx(1 / 3, abs=1e-6)

@@ -1,0 +1,67 @@
+"""Quantile-shift attribution: stage-wise tail-gap decomposition."""
+
+import pytest
+
+from repro.obs.diff.quantile import gap_attribution, quantile_shift
+from repro.obs.requests import STAGE_UNATTRIBUTED, cycles_to_us
+
+
+def mk_tail(threshold, p50, tail_profile, median_profile,
+            percentile=99.0):
+    return {
+        "percentile": percentile,
+        "threshold_cycles": threshold,
+        "p50_cycles": p50,
+        "tail_profile": tail_profile,
+        "median_profile": median_profile,
+    }
+
+
+def test_gap_attribution_sums_to_the_gap():
+    tail = mk_tail(2000, 800,
+                   {"lock_wait": 0.6, "copy": 0.4},
+                   {"lock_wait": 0.2, "copy": 0.8})
+    gaps = gap_attribution(tail)
+    assert sum(gaps.values()) == pytest.approx(2000 - 800)
+    assert gaps["lock_wait"] == pytest.approx(0.6 * 2000 - 0.2 * 800)
+
+
+def test_verdict_names_stage_with_largest_gap_change():
+    a = mk_tail(2000, 800, {"lock_wait": 0.5, "copy": 0.5},
+                {"lock_wait": 0.5, "copy": 0.5})
+    b = mk_tail(4000, 800, {"lock_wait": 0.8, "copy": 0.2},
+                {"lock_wait": 0.5, "copy": 0.5})
+    shift = quantile_shift(a, b)
+    assert shift is not None
+    assert shift["verdict"] == "lock_wait"
+    assert shift["gap_delta_us"] == pytest.approx(
+        cycles_to_us(3200 - 1200), abs=1e-3)
+    # Stage rows are sorted by |delta| descending.
+    deltas = [abs(row["delta_us"]) for row in shift["stages"]]
+    assert deltas == sorted(deltas, reverse=True)
+
+
+def test_unattributed_time_is_reported_but_never_blamed():
+    a = mk_tail(1000, 1000, {STAGE_UNATTRIBUTED: 1.0},
+                {STAGE_UNATTRIBUTED: 1.0})
+    b = mk_tail(5000, 1000, {STAGE_UNATTRIBUTED: 0.9, "copy": 0.1},
+                {STAGE_UNATTRIBUTED: 1.0})
+    shift = quantile_shift(a, b)
+    assert shift["verdict"] == "copy"
+    stages = {row["stage"] for row in shift["stages"]}
+    assert STAGE_UNATTRIBUTED in stages
+
+
+def test_missing_side_yields_none():
+    tail = mk_tail(1000, 500, {}, {})
+    assert quantile_shift(None, tail) is None
+    assert quantile_shift(tail, None) is None
+    assert quantile_shift(None, None) is None
+
+
+def test_self_shift_is_all_zero():
+    tail = mk_tail(3000, 1000, {"copy": 0.7, "dma_map": 0.3},
+                   {"copy": 0.6, "dma_map": 0.4})
+    shift = quantile_shift(tail, tail)
+    assert shift["gap_delta_us"] == 0.0
+    assert all(row["delta_us"] == 0.0 for row in shift["stages"])

@@ -186,6 +186,8 @@ class BenchScale:
     storage_block_sizes: Tuple[int, ...]
     storage_ops: int
     storage_warmup: int
+    #: Core counts for the scalable-invalidation figure (fig_scalinv).
+    scalinv_cores: Tuple[int, ...] = (1, 2)
 
 
 #: ``--quick``: every figure in miniature; the whole registry plus the
@@ -203,6 +205,7 @@ QUICK_SCALE = BenchScale(
     memcached_cores=8, memcached_tpc=40, memcached_warmup=10,
     storage_block_sizes=(4096, 65536),
     storage_ops=100, storage_warmup=20,
+    scalinv_cores=(1, 4, 16),
 )
 
 #: ``--full``: the sizes the per-figure scripts use for the paper tables.
@@ -219,6 +222,7 @@ FULL_SCALE = BenchScale(
     memcached_cores=16, memcached_tpc=450, memcached_warmup=100,
     storage_block_sizes=(4096, 65536, 262144),
     storage_ops=400, storage_warmup=60,
+    scalinv_cores=(1, 2, 4, 8, 16, 32, 64),
 )
 
 
@@ -408,6 +412,55 @@ def _storage_build(scale: BenchScale) -> dict:
                         "\n".join(lines))
 
 
+#: Schemes of the scalable-invalidation figure: the paper's strict
+#: baseline, the three post-2016 remedies, and copy — the contenders in
+#: "can smart zero-copy beat copy?".
+SCALINV_SCHEMES = ("identity-strict", "identity-strict-percore",
+                   "identity-strict-prefetch", "identity-deferred-bounded",
+                   "copy")
+
+_FIG_SCALINV_TITLE = ("Scalable invalidation: strict vs per-core queues "
+                      "vs copy, RX 16KB core sweep")
+
+
+def _fig_scalinv_build(scale: BenchScale) -> dict:
+    """Strict vs the scalable-invalidation schemes vs copy, across cores.
+
+    Exposure columns ride along in the series rows (the capturing
+    observability is on for every registry run), so the record gates
+    both sides of the trade: throughput scaling *and* stale-window
+    byte·cycles per remedy.
+    """
+    results: Dict[str, List[RunResult]] = {}
+    spans: Dict[str, SpanNode] = {}
+    for scheme in SCALINV_SCHEMES:
+        runs, trees = [], []
+        for cores in scale.scalinv_cores:
+            units = scale.units_single if cores == 1 else scale.units_multi
+            warmup = (scale.warmup_single if cores == 1
+                      else scale.warmup_multi)
+            result, tree = _captured(run_tcp_stream_rx, StreamConfig(
+                scheme=scheme, message_size=16384, cores=cores,
+                units_per_core=units, warmup_units=warmup))
+            runs.append(result)
+            trees.append(tree)
+        results[scheme] = runs
+        spans[scheme] = merge_span_trees(trees)
+    lines = [_FIG_SCALINV_TITLE,
+             f"  {'scheme':<28}{'cores':>6}{'Gb/s':>10}{'us/unit':>10}"
+             f"{'stale byte-cycles':>20}"]
+    for scheme, runs in results.items():
+        for result in runs:
+            exposure = result.extras.get("exposure") or {}
+            stale = exposure.get("stale_byte_cycles", 0)
+            lines.append(f"  {scheme:<28}{result.cores:>6}"
+                         f"{result.throughput_gbps:>10.2f}"
+                         f"{result.us_per_unit:>10.3f}"
+                         f"{stale:>20,}")
+    return _figure_data("fig_scalinv", _FIG_SCALINV_TITLE, results, spans,
+                        "\n".join(lines))
+
+
 def _fleet_build(scale: BenchScale) -> dict:
     # Lazy import: repro.bench.fleet imports this module's helpers.
     from repro.bench.fleet import build_fleet_figure
@@ -432,6 +485,7 @@ FIGURES: Tuple[FigureSpec, ...] = (
     FigureSpec("fig11", "Figure 11: memcached", _fig11_build),
     FigureSpec("storage", "Storage block I/O", _storage_build),
     FigureSpec("fleet", "Fleet capacity at the SLO", _fleet_build),
+    FigureSpec("fig_scalinv", _FIG_SCALINV_TITLE, _fig_scalinv_build),
 )
 
 FIGURE_NAMES = tuple(spec.name for spec in FIGURES)

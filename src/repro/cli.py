@@ -398,7 +398,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_schemes() -> int:
-    print(f"{'name':<20}{'label':<40}{'security':<30}")
+    name_w = max(len(name) for name in ALL_SCHEMES) + 2
+    label_w = max(len(scheme_properties(name).label)
+                  for name in ALL_SCHEMES) + 2
+    print(f"{'name':<{name_w}}{'label':<{label_w}}security")
     for name in ALL_SCHEMES:
         props = scheme_properties(name)
         security = []
@@ -408,10 +411,11 @@ def cmd_schemes() -> int:
             security.append("sub-page")
         if props.no_window:
             security.append("no-window")
-        print(f"{name:<20}{props.label:<40}"
-              f"{'+'.join(security) or 'none':<30}")
-    print("\naliases: identity+/strict -> identity-strict, "
-          "identity-/deferred -> identity-deferred")
+        print(f"{name:<{name_w}}{props.label:<{label_w}}"
+              f"{'+'.join(security) or 'none'}")
+    print("\naliases: " + ", ".join(
+        f"{alias} -> {target}"
+        for alias, target in sorted(PAPER_ALIASES.items())))
     return 0
 
 

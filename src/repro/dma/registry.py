@@ -14,6 +14,12 @@ scheme name         composition
 ``identity-deferred`` the paper's **identity−**: identity IOVAs + per-core
                     deferral
 ``copy``            the paper's contribution: DMA shadowing (§5)
+``identity-strict-percore`` identity+ over per-core invalidation queues
+                    with ranged descriptors (post-2016 remedy)
+``identity-deferred-bounded`` identity− with per-core queues, ranged
+                    flushes and a 100 µs window budget
+``identity-strict-prefetch`` identity-strict-percore + IOTLB prefetch
+                    hints at map time (MMU-aware DMA engine style)
 ==================  ========================================================
 
 Everything except ``no-iommu`` translates through the same IOMMU model;
@@ -48,6 +54,10 @@ PAPER_ALIASES = {
     # mean the identity-mapped IOMMU modes the paper evaluates.
     "strict": "identity-strict",
     "deferred": "identity-deferred",
+    # Scalable-invalidation shorthands (see iommu/invalidation.py).
+    "strict-percore": "identity-strict-percore",
+    "deferred-bounded": "identity-deferred-bounded",
+    "strict-prefetch": "identity-strict-prefetch",
 }
 
 _PROPERTIES: Dict[str, SchemeProperties] = {
@@ -91,7 +101,25 @@ _PROPERTIES: Dict[str, SchemeProperties] = {
         "self-invalidating IOMMU [Basu et al.]", iommu_protection=True,
         sub_page=False, no_window=False, single_core_perf=True,
         multi_core_perf=True),
+    # Scalable-invalidation rows (post-2016 remedies for the paper's
+    # qi-lock bottleneck; see iommu/invalidation.py module docstring):
+    "identity-strict-percore": SchemeProperties(
+        "identity+ percore (sharded ranged invalidation)",
+        iommu_protection=True, sub_page=False, no_window=True,
+        single_core_perf=True, multi_core_perf=True),
+    "identity-deferred-bounded": SchemeProperties(
+        "identity- bounded (ranged flush, 100us window)",
+        iommu_protection=True, sub_page=False, no_window=False,
+        single_core_perf=True, multi_core_perf=True),
+    "identity-strict-prefetch": SchemeProperties(
+        "identity+ prefetch (sharded + IOTLB prefetch)",
+        iommu_protection=True, sub_page=False, no_window=True,
+        single_core_perf=True, multi_core_perf=True),
 }
+
+#: Schemes built on the per-core invalidation subsystem.
+SCALABLE_SCHEMES = ("identity-strict-percore", "identity-deferred-bounded",
+                    "identity-strict-prefetch")
 
 ALL_SCHEMES = tuple(_PROPERTIES)
 
@@ -155,6 +183,27 @@ def _build_dma_api(name: str, machine: Machine, iommu: Iommu | None,
             SpinLock("iova-depot", machine.cost, obs=machine.obs))
         return ShadowDmaApi(machine, iommu, device_id, allocators,
                             fallback_iova=fallback, **scheme_kwargs)
+
+    if name in SCALABLE_SCHEMES:
+        # The scalable variants swap the IOMMU's single invalidation
+        # queue for per-core shards (idempotent — schemes sharing one
+        # IOMMU agree on the subsystem) and post ranged descriptors.
+        iommu.enable_percore_invalidation()
+        iova_allocator = IdentityIovaAllocator(machine.cost)
+        props = _PROPERTIES[name]
+        if name == "identity-deferred-bounded":
+            kwargs = dict(scheme_kwargs)
+            kwargs.setdefault("window_budget_cycles",
+                              machine.cost.deferred_window_budget_cycles)
+            return DeferredZeroCopyDmaApi(
+                machine, iommu, device_id, allocators, iova_allocator,
+                name=name, per_core_batching=True, properties=props,
+                ranged_flush=True, **kwargs)
+        return StrictZeroCopyDmaApi(
+            machine, iommu, device_id, allocators, iova_allocator,
+            name=name, properties=props, ranged=True,
+            prefetch=(name == "identity-strict-prefetch"),
+            **scheme_kwargs)
 
     iova_kind, _, policy = name.rpartition("-")
     makers: Dict[str, Callable] = {

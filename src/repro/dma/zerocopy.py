@@ -33,12 +33,12 @@ from repro.dma.api import (
     SchemeProperties,
 )
 from repro.errors import DmaApiError, ReproError
-from repro.hw.cpu import CAT_OTHER, Core
+from repro.hw.cpu import CAT_OTHER, CAT_PT_MGMT, Core
 from repro.hw.locks import NullLock, SpinLock
 from repro.hw.machine import Machine
 from repro.iommu.invalidation import PendingInvalidation
 from repro.iommu.iommu import Domain, Iommu, TranslatingDmaPort
-from repro.iommu.page_table import Perm
+from repro.iommu.page_table import Perm, PteEntry
 from repro.iova.base import IovaAllocator
 from repro.kalloc.slab import KBuffer, KernelAllocators
 from repro.obs.trace import EV_INV_DEFER
@@ -77,6 +77,12 @@ class ZeroCopyDmaApi(DmaApi):
         # iova_page -> refcount/perm for live page mappings.
         self._page_refs: Dict[int, _PageRef] = {}
         self._coherent: Dict[int, CoherentBuffer] = {}
+        # Scalable-invalidation knobs (set by subclasses; see the
+        # identity-strict-percore/-prefetch registry entries).
+        #: Use ranged descriptors (coalesced runs) on the strict path.
+        self.ranged = False
+        #: Post IOTLB prefetch hints for each page at map time.
+        self.prefetch = False
 
     # ------------------------------------------------------------------
     def _map(self, core: Core, buf: KBuffer,
@@ -108,8 +114,7 @@ class ZeroCopyDmaApi(DmaApi):
                                            PAGE_SIZE, core)
                     cleared.append(page)
             if cleared:
-                self.iommu.invalidation_queue.invalidate_sync(
-                    core, self.domain.domain_id, cleared[0], len(cleared))
+                self._invalidate_cleared(core, cleared)
             self.iova_allocator.free(iova_base, npages, core)
             raise
         handle = DmaHandle(iova=iova_base + offset, size=buf.size,
@@ -117,6 +122,29 @@ class ZeroCopyDmaApi(DmaApi):
         cookie = _MapCookie(iova_base=iova_base, npages=npages,
                             pa_base=pa_base)
         return handle, cookie
+
+    def _invalidate_cleared(self, core: Core, cleared: List[int]) -> None:
+        """Strictly invalidate the cleared pages of one unmap.
+
+        ``cleared`` can have holes when refcounted sharing keeps some of
+        the range's pages mapped; the ranged path names exactly the
+        cleared pages, while the classic path posts one descriptor over
+        the covering range (over-invalidation — safe, and what a
+        single-descriptor submission can express).
+        """
+        if self.ranged:
+            self.iommu.invalidation_queue.invalidate_ranges_sync(
+                core, self.domain.domain_id, cleared)
+        else:
+            self.iommu.invalidation_queue.invalidate_sync(
+                core, self.domain.domain_id, cleared[0], len(cleared))
+
+    def _prefetch_page(self, core: Core, iova_page: int, pfn: int,
+                       perm: Perm) -> None:
+        """Post an IOTLB prefetch hint for a just-installed mapping."""
+        self.iommu.iotlb.prefetch(self.domain.domain_id, iova_page,
+                                  PteEntry(pfn=pfn, perm=perm))
+        core.charge(self.cost.iotlb_prefetch_cycles, CAT_PT_MGMT)
 
     def _map_one_page(self, core: Core, iova_page: int, pfn: int,
                       perm: Perm) -> None:
@@ -137,6 +165,8 @@ class ZeroCopyDmaApi(DmaApi):
             self.iommu.map_range(self.domain, iova_page << PAGE_SHIFT,
                                  pfn << PAGE_SHIFT, PAGE_SIZE, perm, core)
             self._page_refs[iova_page] = _PageRef(refcount=1, perm=perm)
+            if self.prefetch:
+                self._prefetch_page(core, iova_page, pfn, perm)
             return
         # Overlapping mapping (e.g. two sub-page buffers under identity
         # mapping).  Widen permissions if needed — which is itself part of
@@ -152,6 +182,8 @@ class ZeroCopyDmaApi(DmaApi):
             self.iommu.invalidation_queue.invalidate_sync(
                 core, self.domain.domain_id, iova_page, 1)
             ref.perm = widened
+            if self.prefetch:
+                self._prefetch_page(core, iova_page, pfn, widened)
 
     def _unmap_pages(self, core: Core, cookie: _MapCookie) -> List[int]:
         """Drop page references; returns iova pages whose PTE was cleared."""
@@ -211,13 +243,23 @@ class ZeroCopyDmaApi(DmaApi):
 
 
 class StrictZeroCopyDmaApi(ZeroCopyDmaApi):
-    """Strict protection: invalidate the IOTLB on every unmap."""
+    """Strict protection: invalidate the IOTLB on every unmap.
+
+    ``ranged=True`` posts coalesced ranged descriptors instead of one
+    covering range, and ``prefetch=True`` hint-inserts each mapped
+    page's translation into the IOTLB at map time — the scalable
+    variants (identity-strict-percore / -prefetch) set these, usually
+    together with the IOMMU's per-core invalidation queues.
+    """
 
     def __init__(self, machine: Machine, iommu: Iommu, device_id: int,
                  allocators: KernelAllocators, iova_allocator: IovaAllocator,
-                 name: str = "strict", properties: SchemeProperties | None = None):
+                 name: str = "strict", properties: SchemeProperties | None = None,
+                 ranged: bool = False, prefetch: bool = False):
         super().__init__(machine, iommu, device_id, allocators, iova_allocator)
         self.name = name
+        self.ranged = ranged
+        self.prefetch = prefetch
         self.properties = properties or SchemeProperties(
             label=name, iommu_protection=True, sub_page=False,
             no_window=True, single_core_perf=False, multi_core_perf=False,
@@ -227,9 +269,8 @@ class StrictZeroCopyDmaApi(ZeroCopyDmaApi):
                cookie: _MapCookie) -> None:
         cleared = self._unmap_pages(core, cookie)
         if cleared:
-            # One ranged invalidation per unmap call (contiguous range).
-            self.iommu.invalidation_queue.invalidate_sync(
-                core, self.domain.domain_id, cleared[0], len(cleared))
+            # One (possibly ranged) invalidation per unmap call.
+            self._invalidate_cleared(core, cleared)
         self.iova_allocator.free(cookie.iova_base, cookie.npages, core)
 
 
@@ -244,10 +285,21 @@ class DeferredZeroCopyDmaApi(ZeroCopyDmaApi):
     def __init__(self, machine: Machine, iommu: Iommu, device_id: int,
                  allocators: KernelAllocators, iova_allocator: IovaAllocator,
                  name: str = "deferred", per_core_batching: bool = True,
-                 properties: SchemeProperties | None = None):
+                 properties: SchemeProperties | None = None,
+                 window_budget_cycles: int | None = None,
+                 ranged_flush: bool = False):
         super().__init__(machine, iommu, device_id, allocators, iova_allocator)
         self.name = name
         self.per_core_batching = per_core_batching
+        #: Oldest-pending-entry age that forces a flush.  Defaults to the
+        #: classic 10 ms timeout; identity-deferred-bounded passes the
+        #: cost model's 100 µs budget, capping the vulnerability window.
+        self.window_budget_cycles = (
+            window_budget_cycles if window_budget_cycles is not None
+            else machine.cost.deferred_timeout_cycles)
+        #: Flush with per-domain ranged descriptors instead of one
+        #: global invalidation (see InvalidationQueue.flush_batch).
+        self.ranged_flush = ranged_flush
         self.properties = properties or SchemeProperties(
             label=name, iommu_protection=True, sub_page=False,
             no_window=False, single_core_perf=True,
@@ -296,7 +348,7 @@ class DeferredZeroCopyDmaApi(ZeroCopyDmaApi):
         must_flush = (
             len(pending) >= self.cost.deferred_batch_size
             or (pending and core.now - pending[0].queued_at
-                >= self.cost.deferred_timeout_cycles)
+                >= self.window_budget_cycles)
         )
         self._list_lock.release(core)
         if must_flush:
@@ -309,7 +361,8 @@ class DeferredZeroCopyDmaApi(ZeroCopyDmaApi):
         self._pending[slot] = []
         self._pending_iova_frees[slot] = []
         self._list_lock.release(core)
-        self.iommu.invalidation_queue.flush_batch(core, pending)
+        self.iommu.invalidation_queue.flush_batch(core, pending,
+                                                  ranged=self.ranged_flush)
         if len(self.window_samples) < self._max_window_samples:
             now = core.now
             self.window_samples.extend(now - p.queued_at for p in pending)

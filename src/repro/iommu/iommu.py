@@ -24,7 +24,10 @@ from repro.faults.plan import SITE_PT_MAP
 from repro.hw.cpu import CAT_PT_MGMT, Core
 from repro.hw.locks import NullLock, SpinLock
 from repro.hw.machine import Machine
-from repro.iommu.invalidation import InvalidationQueue
+from repro.iommu.invalidation import (
+    InvalidationQueue,
+    PerCoreInvalidationQueue,
+)
 from repro.iommu.iotlb import Iotlb
 from repro.iommu.page_table import IoPageTable, Perm, PteEntry
 from repro.obs.exposure import KIND_OS
@@ -119,6 +122,26 @@ class Iommu:
         self.domains: Dict[int, Domain] = {}
         self.faults = FaultRing(capacity=fault_capacity)
         self._domain_ids = itertools.count(1)
+
+    def enable_percore_invalidation(
+            self, nqueues: int | None = None) -> PerCoreInvalidationQueue:
+        """Replace the single global invalidation queue with per-core
+        shards (see :class:`PerCoreInvalidationQueue`): one queue per
+        core (default) over one shared hardware engine.
+
+        Idempotent — several schemes sharing one IOMMU (the test
+        fixtures do this) can each request per-core invalidation and get
+        the same subsystem back.  Existing IOTLB contents and domains
+        are untouched; only the submission front end changes.
+        """
+        if isinstance(self.invalidation_queue, PerCoreInvalidationQueue):
+            return self.invalidation_queue
+        self.invalidation_queue = PerCoreInvalidationQueue(
+            self.iotlb, self.cost,
+            nqueues=nqueues if nqueues is not None
+            else self.machine.num_cores,
+            obs=self.obs, faults=self.machine.faults)
+        return self.invalidation_queue
 
     # ------------------------------------------------------------------
     # OS side.

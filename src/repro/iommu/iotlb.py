@@ -32,6 +32,11 @@ class IotlbStats:
       those operations; ops over uncached pages remove nothing.
     * ``evictions`` — entries displaced by capacity pressure on
       ``insert``, never by invalidation.
+    * ``prefetches`` / ``prefetch_hits`` — hint-inserted entries
+      (:meth:`Iotlb.prefetch`, MMU-aware DMA engine style) and the
+      subset whose *first* device lookup found them still cached.
+      Counted apart from demand fills so the hint hit rate is visible
+      on its own.
     """
 
     hits: int = 0
@@ -40,6 +45,13 @@ class IotlbStats:
     invalidated_entries: int = 0
     global_invalidations: int = 0
     evictions: int = 0
+    prefetches: int = 0
+    prefetch_hits: int = 0
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        return (self.prefetch_hits / self.prefetches
+                if self.prefetches else 0.0)
 
     @property
     def hit_rate(self) -> float:
@@ -55,6 +67,10 @@ class Iotlb:
             raise ValueError("IOTLB capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple[int, int], PteEntry]" = OrderedDict()
+        # Keys inserted by prefetch() whose first lookup hasn't happened
+        # yet — membership drives the prefetch_hits counter; discarded on
+        # first hit, invalidation, or eviction.
+        self._prefetched: set = set()
         self.stats = IotlbStats()
 
     def lookup(self, domain_id: int, iova_page: int) -> PteEntry | None:
@@ -65,14 +81,36 @@ class Iotlb:
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if key in self._prefetched:
+            self._prefetched.discard(key)
+            self.stats.prefetch_hits += 1
         return entry
 
     def insert(self, domain_id: int, iova_page: int, entry: PteEntry) -> None:
         key = (domain_id, iova_page)
         self._entries[key] = entry
         self._entries.move_to_end(key)
+        # A demand fill over a pending hint supersedes it.
+        self._prefetched.discard(key)
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._prefetched.discard(evicted)
+            self.stats.evictions += 1
+
+    def prefetch(self, domain_id: int, iova_page: int,
+                 entry: PteEntry) -> None:
+        """Hint-insert a translation at map time (MMU-aware DMA engine /
+        TLB-prefetch style, Kurth et al.): the first device access then
+        hits instead of walking.  Counted separately from demand fills —
+        see :class:`IotlbStats`."""
+        key = (domain_id, iova_page)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self._prefetched.add(key)
+        self.stats.prefetches += 1
+        if len(self._entries) > self.capacity:
+            evicted, _ = self._entries.popitem(last=False)
+            self._prefetched.discard(evicted)
             self.stats.evictions += 1
 
     def contains(self, domain_id: int, iova_page: int) -> bool:
@@ -94,8 +132,10 @@ class Iotlb:
         """
         removed = 0
         for page in range(iova_page, iova_page + npages):
-            if self._entries.pop((domain_id, page), None) is not None:
+            key = (domain_id, page)
+            if self._entries.pop(key, None) is not None:
                 removed += 1
+            self._prefetched.discard(key)
         self.stats.invalidations += 1
         self.stats.invalidated_entries += removed
         return removed
@@ -105,6 +145,7 @@ class Iotlb:
         keys = [k for k in self._entries if k[0] == domain_id]
         for key in keys:
             del self._entries[key]
+            self._prefetched.discard(key)
         self.stats.invalidations += 1
         self.stats.invalidated_entries += len(keys)
         return len(keys)
@@ -113,6 +154,7 @@ class Iotlb:
         """Global invalidation: drop everything."""
         count = len(self._entries)
         self._entries.clear()
+        self._prefetched.clear()
         self.stats.global_invalidations += 1
         self.stats.invalidated_entries += count
         return count

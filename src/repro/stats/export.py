@@ -95,6 +95,13 @@ def result_to_row(result: RunResult) -> dict:
         row["iotlb_invalidations"] = iotlb.get("invalidations", 0)
         row["iotlb_invalidated_entries"] = \
             iotlb.get("invalidated_entries", 0)
+        prefetches = iotlb.get("prefetches", 0)
+        if prefetches:
+            # Prefetch-hint columns (identity-strict-prefetch): how many
+            # hints were posted and how many first lookups they served.
+            row["iotlb_prefetches"] = prefetches
+            row["iotlb_prefetch_hit_rate"] = round(
+                iotlb.get("prefetch_hits", 0) / prefetches, 6)
     slo = result.extras.get("slo")
     if isinstance(slo, dict) and slo.get("armed"):
         # SLO-window columns (see repro.obs.slo): breach counts gate

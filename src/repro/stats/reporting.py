@@ -115,13 +115,14 @@ def render_property_matrix(rows: Sequence[tuple[str, Dict[str, bool]]],
                            title: str = "Table 1") -> str:
     """The Table 1 ✓/✗ matrix (verified empirically by the audit)."""
     columns = list(columns)
+    label_w = max([34] + [len(label) + 2 for label, _ in rows])
     lines = [title,
-             f"{'scheme':<34}" + "".join(f"{c:>22}" for c in columns)]
+             f"{'scheme':<{label_w}}" + "".join(f"{c:>25}" for c in columns)]
     for label, props in rows:
-        row = f"{label:<34}"
+        row = f"{label:<{label_w}}"
         for col in columns:
             mark = "yes" if props.get(col) else "-"
-            row += f"{mark:>22}"
+            row += f"{mark:>25}"
         lines.append(row)
     return "\n".join(lines)
 
@@ -135,17 +136,18 @@ def render_exposure_report(rows: Sequence[tuple[str, Dict[str, object] | None]],
     where the device's reach is not bounded by translation in the
     first place.
     """
+    label_w = max([34] + [len(label) + 2 for label, _ in rows])
     lines = [title,
-             f"{'scheme':<34}{'stale B*cyc':>14}{'max win cyc':>12}"
+             f"{'scheme':<{label_w}}{'stale B*cyc':>14}{'max win cyc':>12}"
              f"{'stale hits':>11}{'excess B*cyc':>14}{'peak excess B':>14}"
              f"{'surface B':>11}{'faults':>8}"]
     unprotected = "- unprotected: device reach not bounded by translation -"
     for label, summary in rows:
         if summary is None:
-            lines.append(f"{label:<34}{unprotected:^84}")
+            lines.append(f"{label:<{label_w}}{unprotected:^84}")
             continue
         lines.append(
-            f"{label:<34}"
+            f"{label:<{label_w}}"
             f"{summary.get('stale_byte_cycles', 0):>14}"
             f"{summary.get('stale_peak_window_cycles', 0):>12}"
             f"{summary.get('stale_accesses', 0):>11}"

@@ -121,3 +121,26 @@ def test_quick_scale_covers_every_figure_knob():
     assert QUICK_SCALE.rr_transactions > QUICK_SCALE.rr_warmup
     assert QUICK_SCALE.memcached_tpc > QUICK_SCALE.memcached_warmup
     assert QUICK_SCALE.storage_ops > QUICK_SCALE.storage_warmup
+
+
+def test_fig_scalinv_build_tiny():
+    """The scalable-invalidation figure: one row per (scheme, cores),
+    with the strict variants' zero-stale invariant visible in the rows
+    the record gates."""
+    from repro.bench.runner import SCALINV_SCHEMES
+
+    spec = next(s for s in FIGURES if s.name == "fig_scalinv")
+    data = spec.build(TINY)
+    rows = data["series"]
+    assert len(rows) == len(SCALINV_SCHEMES) * len(TINY.scalinv_cores)
+    by_scheme = {}
+    for row in rows:
+        assert row["figure"] == "fig_scalinv"
+        assert row["throughput_gbps"] > 0
+        by_scheme.setdefault(row["scheme"], []).append(row)
+    assert set(by_scheme) == set(SCALINV_SCHEMES)
+    for scheme in ("identity-strict", "identity-strict-percore",
+                   "identity-strict-prefetch"):
+        for row in by_scheme[scheme]:
+            assert row["exposure_stale_byte_cycles"] == 0
+    assert "stale byte-cycles" in data["report"]

@@ -60,7 +60,12 @@ def test_scheme_kwargs_pass_through(make_api):
 
 def test_aliases_cover_paper_names():
     assert set(PAPER_ALIASES) \
-        == {"identity+", "identity-", "strict", "deferred"}
+        == {"identity+", "identity-", "strict", "deferred",
+            "strict-percore", "deferred-bounded", "strict-prefetch"}
     # The prose shorthands mean the identity-mapped modes (§2.2).
     assert PAPER_ALIASES["strict"] == "identity-strict"
     assert PAPER_ALIASES["deferred"] == "identity-deferred"
+    # Scalable-invalidation shorthands route to the identity variants.
+    assert PAPER_ALIASES["strict-percore"] == "identity-strict-percore"
+    assert PAPER_ALIASES["deferred-bounded"] == "identity-deferred-bounded"
+    assert PAPER_ALIASES["strict-prefetch"] == "identity-strict-prefetch"

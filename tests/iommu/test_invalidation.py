@@ -73,7 +73,10 @@ def test_concurrency_window_expires(cost):
         q.invalidate_sync(core, 1, 1)
     lone = cores[0]
     lone.charge(10_000_000)  # far in the future
-    assert q.current_concurrency(lone) == 1
+    # Raw window count: a queue idle for a full window reports 0 — the
+    # same definition _note_submission uses (which is >= 1 only because
+    # a submission counts itself).
+    assert q.current_concurrency(lone) == 0
 
 
 def test_lock_serializes_submissions(cost):
@@ -146,3 +149,166 @@ def test_hardware_is_serialized_resource(cost):
     q.invalidate_sync(b, 1, 2)  # no lock, but hardware still serializes
     assert q.hardware.completions == 2
     assert b.now > cost.iotlb_invalidation_cycles
+
+
+# ----------------------------------------------------------------------
+# Scalable invalidation: ranged descriptors, pipelined shards, and the
+# stall-recovery / flush accounting regressions (PR 10).
+# ----------------------------------------------------------------------
+def make_obs_queue(cost, faults=None, pipelined=False):
+    from repro.obs.context import Observability
+
+    obs = Observability.capture(trace_capacity=64)
+    tlb = Iotlb()
+    q = InvalidationQueue(tlb, cost, SpinLock("qi", cost, obs=obs),
+                          obs=obs, faults=faults, pipelined=pipelined)
+    return tlb, q, obs
+
+
+def test_coalesce_pages_maximal_runs():
+    from repro.iommu.invalidation import coalesce_pages
+
+    assert coalesce_pages([]) == []
+    assert coalesce_pages([4]) == [(4, 1)]
+    assert coalesce_pages([5, 1, 2, 3, 9, 8]) == [(1, 3), (5, 1), (8, 2)]
+    # Duplicates collapse; unordered input is fine.
+    assert coalesce_pages([7, 7, 6, 8]) == [(6, 3)]
+
+
+def test_invalidate_ranges_sync_posts_one_descriptor_per_run(cost):
+    tlb, q, obs = make_obs_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    for page in (1, 2, 3, 7):
+        tlb.insert(1, page, PteEntry(page, Perm.RW))
+    tlb.insert(1, 5, PteEntry(5, Perm.RW))  # untouched hole survivor
+    q.invalidate_ranges_sync(core, 1, [1, 2, 3, 7])
+    for page in (1, 2, 3, 7):
+        assert not tlb.contains(1, page)
+    assert tlb.contains(1, 5)
+    assert q.sync_invalidations == 1
+    # Two runs -> two page-scope descriptors in one submission.
+    assert obs.metrics.counter("invalidation.submissions:page").value == 2
+    assert q.lock.stats.acquisitions == 1
+
+
+def test_ranged_submission_costs_grow_with_descriptors(cost):
+    _, q1 = make_queue(cost, with_lock=False)
+    _, q2 = make_queue(cost, with_lock=False)
+    a = Core(cid=0, numa_node=0)
+    b = Core(cid=0, numa_node=0)
+    q1.invalidate_ranges_sync(a, 1, [1, 2, 3, 4])          # one run
+    q2.invalidate_ranges_sync(b, 1, [1, 3, 5, 7])          # four runs
+    # Same page count, more descriptors: strictly more cycles.
+    assert b.now > a.now
+    extra_one = cost.ranged_invalidation_extra_cycles(1, 4)
+    extra_four = cost.ranged_invalidation_extra_cycles(4, 4)
+    assert extra_four - extra_one == \
+        3 * cost.invq_ranged_desc_service_cycles
+
+
+def test_flush_batch_global_scope_names_no_pages(cost):
+    """S3 pin: the legacy deferred flush is one global descriptor — it
+    must not be accounted as covering the batch's summed pages."""
+    tlb, q, obs = make_obs_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    pending = [PendingInvalidation(1, 10, 4, 0),
+               PendingInvalidation(2, 40, 2, 0)]
+    q.flush_batch(core, pending)
+    metrics = obs.metrics
+    assert metrics.counter("invalidation.submissions:global").value == 1
+    assert metrics.counter("invalidation.submissions:page").value == 0
+    submit, = obs.tracer.events("inv.submit")
+    assert submit.data["scope"] == "global"
+    assert submit.data["pages"] == 0
+    flush, = obs.tracer.events("inv.flush")
+    assert flush.data["pages"] == 6
+    assert flush.data["ranged"] is False
+
+
+def test_ranged_flush_accounts_per_domain_descriptors(cost):
+    """The ranged flush path posts page-scope descriptors per domain and
+    closes only the named pages."""
+    tlb, q, obs = make_obs_queue(cost)
+    core = Core(cid=0, numa_node=0)
+    for page in (10, 11, 12, 13):
+        tlb.insert(1, page, PteEntry(page, Perm.RW))
+    tlb.insert(2, 40, PteEntry(40, Perm.RW))
+    tlb.insert(3, 99, PteEntry(99, Perm.RW))  # not in the batch
+    pending = [PendingInvalidation(1, 10, 2, 0),
+               PendingInvalidation(1, 12, 2, 0),   # coalesces with above
+               PendingInvalidation(2, 40, 1, 0)]
+    q.flush_batch(core, pending, ranged=True)
+    for page in (10, 11, 12, 13):
+        assert not tlb.contains(1, page)
+    assert not tlb.contains(2, 40)
+    assert tlb.contains(3, 99)  # a ranged flush is not global
+    metrics = obs.metrics
+    # Domain 1: one coalesced run; domain 2: one run.
+    assert metrics.counter("invalidation.submissions:page").value == 2
+    assert metrics.counter("invalidation.submissions:global").value == 0
+    assert tlb.stats.global_invalidations == 0
+    flush, = obs.tracer.events("inv.flush")
+    assert flush.data["ranged"] is True
+    assert flush.data["descriptors"] == 2
+    assert flush.data["pages"] == 5
+
+
+def _stall_injector(at):
+    from repro.faults.injector import FaultInjector
+    from repro.faults.plan import SITE_INV_STALL, FaultPlan, SiteRule
+
+    injector = FaultInjector(FaultPlan(rules={
+        SITE_INV_STALL: SiteRule(at=at)}))
+    injector.start()
+    return injector
+
+
+def test_stall_retry_is_a_visible_submission(cost):
+    """S1 pin: a stall-recovery re-submit must land in the concurrency
+    window and sample the concurrency/queue-depth series, like any other
+    submission."""
+    faults = _stall_injector(at=(1,))  # first submit stalls, retry lands
+    tlb, q, obs = make_obs_queue(cost, faults=faults)
+    core = Core(cid=0, numa_node=0)
+    q.invalidate_sync(core, 1, 10)
+    assert q.timeouts == 1
+    assert q.recovered_stalls == 1
+    assert q.queue_resets == 0
+    # Original submission + the retry are both in the window deque.
+    assert len(q._recent) == 2
+    # Both instants were sampled by the series.
+    assert len(obs.metrics.series("invalidation.concurrency").samples) == 2
+    assert len(obs.metrics.series("invalidation.queue_depth").samples) == 2
+
+
+def test_queue_reset_counts_as_submission(cost):
+    """S1 pin, reset path: the queue-reset's global flush is a
+    submission too."""
+    faults = _stall_injector(at=(1, 2, 3, 4))  # every attempt stalls
+    tlb, q, obs = make_obs_queue(cost, faults=faults)
+    core = Core(cid=0, numa_node=0)
+    q.invalidate_sync(core, 1, 10)
+    assert q.queue_resets == 1
+    assert q.timeouts == 4
+    # 1 original + 3 retries + 1 reset flush.
+    assert len(q._recent) == 5
+
+
+def test_pipelined_queue_overlaps_hardware_service(cost):
+    """Pipelined shards: concurrent submitters from different shards
+    overlap in the engine; a shared ring serializes them end-to-end."""
+    def makespan(pipelined):
+        tlb = Iotlb()
+        q = InvalidationQueue(tlb, cost, pipelined=pipelined)
+        cores = [Core(cid=i, numa_node=0) for i in range(8)]
+        for core in cores:
+            q.invalidate_sync(core, 1, core.cid)
+        return max(core.now for core in cores)
+
+    assert makespan(True) < makespan(False) / 2
+    # A lone pipelined submission still observes the full idle latency.
+    tlb = Iotlb()
+    q = InvalidationQueue(tlb, cost, pipelined=True)
+    lone = Core(cid=0, numa_node=0)
+    q.invalidate_sync(lone, 1, 1)
+    assert lone.now >= cost.iotlb_invalidation_latency(1)
